@@ -1,0 +1,41 @@
+//! Criterion benches timing the regeneration of each figure at a small
+//! scale — a performance regression net for the whole simulator stack
+//! (the per-figure simulation results themselves come from the `repro`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esp_bench::{figures, Runner};
+use std::hint::black_box;
+
+/// Instruction budget per benchmark when timing figures. Small on
+/// purpose: Criterion runs each figure many times.
+const BENCH_SCALE: u64 = 30_000;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    let cases: Vec<(&str, fn(&mut Runner) -> esp_bench::FigureReport)> = vec![
+        ("fig3_potential", figures::fig3),
+        ("fig9_esp_vs_runahead", figures::fig9),
+        ("fig10_sources", figures::fig10),
+        ("fig11a_icache", figures::fig11a),
+        ("fig11b_dcache", figures::fig11b),
+        ("fig12_branch", figures::fig12),
+        ("fig13_working_sets", figures::fig13),
+        ("fig14_energy", figures::fig14),
+    ];
+    for (name, f) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // A fresh runner per iteration: the cache would otherwise
+                // make every iteration after the first free.
+                let mut runner = Runner::new(BENCH_SCALE, 7);
+                black_box(f(&mut runner))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

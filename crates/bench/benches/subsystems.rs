@@ -1,0 +1,90 @@
+//! Criterion benches for the individual simulator substrates: how fast
+//! the cache model, branch predictor, workload generator, and the
+//! end-to-end simulator execute on this host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use esp_core::{SimConfig, Simulator};
+use esp_workload::BenchmarkProfile;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    use esp_mem::{CacheConfig, SetAssocCache};
+    use esp_types::{Cycle, LineAddr};
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1_access_stream", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::l1_32k("L1"));
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                // A mix of hits and conflict misses across 1024 lines.
+                let line = LineAddr::new((i * 769) % 1024);
+                if !cache.access(line, Cycle::new(i)).is_hit() {
+                    cache.fill(line, Cycle::new(i), Cycle::new(i), false);
+                }
+                i += 1;
+            }
+            black_box(cache.occupancy())
+        })
+    });
+    group.finish();
+}
+
+fn bench_branch(c: &mut Criterion) {
+    use esp_branch::{BranchConfig, BranchPredictor, ContextPolicy, PredictorContext};
+    use esp_trace::Instr;
+    use esp_types::Addr;
+    let mut group = c.benchmark_group("branch");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("predict_update_stream", |b| {
+        let mut bp = BranchPredictor::new(BranchConfig::pentium_m(), ContextPolicy::SeparatePir);
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut correct = 0u32;
+            for _ in 0..10_000 {
+                let pc = Addr::new(0x1000 + (i % 512) * 24);
+                let taken = (i / 7) % 3 != 0;
+                let instr = Instr::cond_branch(pc, taken, Addr::new(0x4000));
+                if bp.predict_and_update(PredictorContext::Normal, &instr).is_correct() {
+                    correct += 1;
+                }
+                i += 1;
+            }
+            black_box(correct)
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    use esp_trace::{record_stream, Workload};
+    let mut group = c.benchmark_group("workload");
+    let w = BenchmarkProfile::amazon().scaled(100_000).build(3);
+    let id = w.events()[0].id;
+    group.throughput(Throughput::Elements(20_000));
+    group.bench_function("walk_generation", |b| {
+        b.iter(|| {
+            let mut s = w.actual_stream(id);
+            black_box(record_stream(&mut *s, 20_000).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let w = BenchmarkProfile::amazon().scaled(60_000).build(3);
+    for (name, cfg) in [
+        ("baseline_60k", SimConfig::next_line()),
+        ("esp_nl_60k", SimConfig::esp_nl()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Simulator::new(cfg.clone()).run(&w)).total_cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_branch, bench_workload, bench_simulator);
+criterion_main!(benches);

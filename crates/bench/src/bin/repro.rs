@@ -1,0 +1,75 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! repro [--scale N] [--seed S] all
+//! repro [--scale N] [--seed S] fig9 fig11a ...
+//! ```
+//!
+//! `--scale` is the per-benchmark instruction budget (default 400 000);
+//! larger scales sharpen the numbers at the cost of runtime.
+
+use esp_bench::{figures, Runner};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale: u64 = 400_000;
+    let mut seed: u64 = 42;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale = v,
+                None => return usage("--scale needs an integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        return usage("no figure selected");
+    }
+
+    eprintln!("# generating workloads (scale {scale}, seed {seed})...");
+    let mut runner = Runner::new(scale, seed);
+
+    if wanted.iter().any(|w| w == "all") {
+        for report in figures::all(&mut runner) {
+            println!("{}", report.render());
+        }
+        return ExitCode::SUCCESS;
+    }
+    for name in &wanted {
+        if name == "ablate" {
+            for report in esp_bench::ablation::all(scale, seed) {
+                println!("{}", report.render());
+            }
+            continue;
+        }
+        match figures::by_name(name) {
+            Ok(f) => println!("{}", f(&mut runner).render()),
+            Err(e) => return usage(&e.to_string()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--scale N] [--seed S] <all | fig3 fig6 fig7 fig8 fig9 fig10 \
+         fig11a fig11b fig12 fig13 fig14 | ablate>"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,20 @@
+//! The benchmark harness: regenerates every figure and table of the ESP
+//! paper's evaluation (§5–§6).
+//!
+//! The `repro` binary (`cargo run --release -p esp-bench --bin repro --
+//! all`) prints each figure in the same rows/series layout the paper
+//! uses; the Criterion benches in `benches/` time the simulator itself.
+//!
+//! Figures are regenerated at a configurable instruction scale (default
+//! 400 000 per benchmark; see `DESIGN.md` on scaling) with per-(profile,
+//! configuration) run caching, since many figures share the same
+//! baseline runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod runner;
+
+pub use runner::{ConfigKey, FigureReport, Runner};

@@ -1,0 +1,277 @@
+//! Cached simulation runner shared by all figures.
+
+use esp_core::{RunReport, SimConfig, Simulator};
+use esp_stats::Table;
+use esp_uarch::PerfectFlags;
+use esp_workload::{BenchmarkProfile, GeneratedWorkload};
+use std::collections::HashMap;
+
+/// Every machine configuration the evaluation compares, as a nameable
+/// key (so runs can be cached and reports labelled consistently).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ConfigKey {
+    Base,
+    NextLine,
+    NextLineStride,
+    Runahead,
+    RunaheadNl,
+    Esp,
+    EspNl,
+    NaiveEsp,
+    NaiveEspNl,
+    EspINl,
+    EspIbNl,
+    NlIOnly,
+    NlDOnly,
+    EspI,
+    EspINlI,
+    IdealEspINlI,
+    RunaheadD,
+    RunaheadDNlD,
+    EspD,
+    EspDNlD,
+    IdealEspDNlD,
+    EspBpShared,
+    EspBpSeparateContext,
+    EspBpSeparateTables,
+    PerfectL1i,
+    PerfectL1d,
+    PerfectBranch,
+    PerfectAll,
+    EspDepthProbe,
+}
+
+impl ConfigKey {
+    /// The short label used in report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigKey::Base => "base",
+            ConfigKey::NextLine => "NL",
+            ConfigKey::NextLineStride => "NL + S",
+            ConfigKey::Runahead => "Runahead",
+            ConfigKey::RunaheadNl => "Runahead + NL",
+            ConfigKey::Esp => "ESP",
+            ConfigKey::EspNl => "ESP + NL",
+            ConfigKey::NaiveEsp => "Naive ESP",
+            ConfigKey::NaiveEspNl => "Naive ESP + NL",
+            ConfigKey::EspINl => "ESP-I + NL",
+            ConfigKey::EspIbNl => "ESP-I,B + NL",
+            ConfigKey::NlIOnly => "NL-I",
+            ConfigKey::NlDOnly => "NL-D",
+            ConfigKey::EspI => "ESP-I",
+            ConfigKey::EspINlI => "ESP-I + NL-I",
+            ConfigKey::IdealEspINlI => "ideal ESP-I + NL-I",
+            ConfigKey::RunaheadD => "Runahead-D",
+            ConfigKey::RunaheadDNlD => "Runahead-D + NL-D",
+            ConfigKey::EspD => "ESP-D",
+            ConfigKey::EspDNlD => "ESP-D + NL-D",
+            ConfigKey::IdealEspDNlD => "ideal ESP-D + NL-D",
+            ConfigKey::EspBpShared => "no extra H/W",
+            ConfigKey::EspBpSeparateContext => "separate context",
+            ConfigKey::EspBpSeparateTables => "separate context and tables",
+            ConfigKey::PerfectL1i => "perfect L1I-cache",
+            ConfigKey::PerfectL1d => "perfect L1D-cache",
+            ConfigKey::PerfectBranch => "perfect Branch Predictor",
+            ConfigKey::PerfectAll => "perfect All",
+            ConfigKey::EspDepthProbe => "ESP depth probe",
+        }
+    }
+
+    /// The simulator configuration this key denotes.
+    pub fn config(self) -> SimConfig {
+        match self {
+            ConfigKey::Base => SimConfig::base(),
+            ConfigKey::NextLine => SimConfig::next_line(),
+            ConfigKey::NextLineStride => SimConfig::next_line_stride(),
+            ConfigKey::Runahead => SimConfig::runahead(),
+            ConfigKey::RunaheadNl => SimConfig::runahead_nl(),
+            ConfigKey::Esp => SimConfig::esp(),
+            ConfigKey::EspNl => SimConfig::esp_nl(),
+            ConfigKey::NaiveEsp => SimConfig::naive_esp(),
+            ConfigKey::NaiveEspNl => SimConfig::naive_esp_nl(),
+            ConfigKey::EspINl => SimConfig::esp_i_nl(),
+            ConfigKey::EspIbNl => SimConfig::esp_ib_nl(),
+            ConfigKey::NlIOnly => SimConfig::nl_i_only(),
+            ConfigKey::NlDOnly => SimConfig::nl_d_only(),
+            ConfigKey::EspI => SimConfig::esp_i(),
+            ConfigKey::EspINlI => SimConfig::esp_i_nl_i(),
+            ConfigKey::IdealEspINlI => SimConfig::ideal_esp_i_nl_i(),
+            ConfigKey::RunaheadD => SimConfig::runahead_d(),
+            ConfigKey::RunaheadDNlD => SimConfig::runahead_d_nl_d(),
+            ConfigKey::EspD => SimConfig::esp_d(),
+            ConfigKey::EspDNlD => SimConfig::esp_d_nl_d(),
+            ConfigKey::IdealEspDNlD => SimConfig::ideal_esp_d_nl_d(),
+            ConfigKey::EspBpShared => SimConfig::esp_bp_shared(),
+            ConfigKey::EspBpSeparateContext => SimConfig::esp_bp_separate_context(),
+            ConfigKey::EspBpSeparateTables => SimConfig::esp_bp_separate_tables(),
+            ConfigKey::PerfectL1i => SimConfig::perfect(PerfectFlags::perfect_l1i()),
+            ConfigKey::PerfectL1d => SimConfig::perfect(PerfectFlags::perfect_l1d()),
+            ConfigKey::PerfectBranch => SimConfig::perfect(PerfectFlags::perfect_branch()),
+            ConfigKey::PerfectAll => SimConfig::perfect(PerfectFlags::all()),
+            ConfigKey::EspDepthProbe => SimConfig::esp_depth_probe(),
+        }
+    }
+}
+
+/// One regenerated figure or table: a title, one or more tables, and
+/// explanatory notes (what the paper reported, for EXPERIMENTS.md).
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// "Fig. 9", "Fig. 6 (table)", …
+    pub id: &'static str,
+    /// The figure's caption.
+    pub title: &'static str,
+    /// Captioned tables.
+    pub tables: Vec<(String, Table)>,
+    /// Comparison notes against the paper.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Renders the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} — {} ===\n", self.id, self.title);
+        for (caption, table) in &self.tables {
+            if !caption.is_empty() {
+                out.push_str(caption);
+                out.push('\n');
+            }
+            out.push_str(&table.to_string());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A caching simulation runner: one workload per benchmark profile, one
+/// memoised [`RunReport`] per (profile, configuration).
+pub struct Runner {
+    scale: u64,
+    seed: u64,
+    workloads: Vec<(BenchmarkProfile, GeneratedWorkload)>,
+    cache: HashMap<(usize, ConfigKey), RunReport>,
+}
+
+impl Runner {
+    /// Builds workloads for all seven profiles at `scale` instructions
+    /// each.
+    pub fn new(scale: u64, seed: u64) -> Self {
+        let workloads = BenchmarkProfile::all()
+            .into_iter()
+            .map(|p| {
+                let w = p.scaled(scale).build(seed);
+                (p, w)
+            })
+            .collect();
+        Runner { scale, seed, workloads, cache: HashMap::new() }
+    }
+
+    /// The instruction scale per benchmark.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// The workload seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Benchmark names in presentation order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.workloads.iter().map(|(p, _)| p.name()).collect()
+    }
+
+    /// The profiles and their generated workloads.
+    pub fn workloads(&self) -> &[(BenchmarkProfile, GeneratedWorkload)] {
+        &self.workloads
+    }
+
+    /// Runs (or recalls) configuration `key` on profile index `i`.
+    pub fn run(&mut self, i: usize, key: ConfigKey) -> &RunReport {
+        if !self.cache.contains_key(&(i, key)) {
+            let report = Simulator::new(key.config()).run(&self.workloads[i].1);
+            self.cache.insert((i, key), report);
+        }
+        &self.cache[&(i, key)]
+    }
+
+    /// Per-benchmark performance improvement (%) of `key` over `base`,
+    /// plus the harmonic mean in the last position.
+    pub fn improvements(&mut self, key: ConfigKey, base: ConfigKey) -> Vec<f64> {
+        let mut vals = Vec::new();
+        for i in 0..self.workloads.len() {
+            let b = self.run(i, base).busy_cycles();
+            let t = self.run(i, key).busy_cycles();
+            vals.push(esp_stats::improvement_pct(b, t));
+        }
+        vals.push(esp_stats::harmonic_mean_improvement(&vals));
+        vals
+    }
+
+    /// Per-benchmark values of `metric`, plus the harmonic mean of the
+    /// values in the last position.
+    pub fn metric(&mut self, key: ConfigKey, metric: impl Fn(&RunReport) -> f64) -> Vec<f64> {
+        let mut vals = Vec::new();
+        for i in 0..self.workloads.len() {
+            vals.push(metric(self.run(i, key)));
+        }
+        let hmean = if vals.iter().any(|&v| v <= 0.0) {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        } else {
+            vals.len() as f64 / vals.iter().map(|v| 1.0 / v).sum::<f64>()
+        };
+        vals.push(hmean);
+        vals
+    }
+
+    /// Column headers: benchmark names plus "HMean".
+    pub fn headers(&self, first: &str) -> Vec<String> {
+        let mut h = vec![first.to_string()];
+        h.extend(self.names().iter().map(|s| s.to_string()));
+        h.push("HMean".to_string());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let keys = [
+            ConfigKey::Base,
+            ConfigKey::NextLine,
+            ConfigKey::NextLineStride,
+            ConfigKey::Runahead,
+            ConfigKey::EspNl,
+            ConfigKey::EspBpShared,
+            ConfigKey::PerfectAll,
+        ];
+        let labels: std::collections::HashSet<_> = keys.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), keys.len());
+    }
+
+    #[test]
+    fn runner_caches_runs() {
+        let mut r = Runner::new(20_000, 1);
+        let c1 = r.run(0, ConfigKey::Base).total_cycles;
+        let c2 = r.run(0, ConfigKey::Base).total_cycles;
+        assert_eq!(c1, c2);
+        assert_eq!(r.cache.len(), 1);
+        assert_eq!(r.names().len(), 7);
+    }
+
+    #[test]
+    fn improvements_include_hmean() {
+        let mut r = Runner::new(20_000, 1);
+        let v = r.improvements(ConfigKey::NextLine, ConfigKey::Base);
+        assert_eq!(v.len(), 8);
+    }
+}

@@ -1,0 +1,426 @@
+//! The individual predictor structures.
+//!
+//! Each structure is independently testable and `Clone`, because the
+//! "separate context and tables" design point of Fig. 12 replicates all of
+//! them per execution context.
+
+use crate::PathInfoRegister;
+use esp_types::Addr;
+
+/// A 2-bit saturating counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    const WEAK_TAKEN: Counter2 = Counter2(2);
+
+    fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// The PIR-indexed, tagged global direction predictor (2k entries in the
+/// paper's configuration).
+///
+/// A lookup only *hits* when the stored tag matches; otherwise the
+/// predictor abstains and the local predictor decides. Entries are
+/// allocated on branches the local predictor got wrong, mirroring how the
+/// Pentium M's global predictor filters for history-correlated branches.
+#[derive(Clone, Debug)]
+pub struct GlobalPredictor {
+    tags: Vec<u16>,
+    valid: Vec<bool>,
+    counters: Vec<Counter2>,
+}
+
+impl GlobalPredictor {
+    /// Creates an empty predictor with `entries` slots (power of two).
+    pub fn new(entries: usize) -> Self {
+        GlobalPredictor {
+            tags: vec![0; entries],
+            valid: vec![false; entries],
+            counters: vec![Counter2::WEAK_TAKEN; entries],
+        }
+    }
+
+    /// Looks up a direction; `None` on a tag miss.
+    pub fn predict(&self, pir: PathInfoRegister, pc: Addr) -> Option<bool> {
+        let i = pir.index(pc, self.tags.len());
+        if self.valid[i] && self.tags[i] == pir.tag(pc) {
+            Some(self.counters[i].predict_taken())
+        } else {
+            None
+        }
+    }
+
+    /// Trains the matching entry, or allocates one when `allocate` is set
+    /// (done when the fallback predictor mispredicted).
+    pub fn update(&mut self, pir: PathInfoRegister, pc: Addr, taken: bool, allocate: bool) {
+        let i = pir.index(pc, self.tags.len());
+        let tag = pir.tag(pc);
+        if self.valid[i] && self.tags[i] == tag {
+            self.counters[i].update(taken);
+        } else if allocate {
+            self.valid[i] = true;
+            self.tags[i] = tag;
+            self.counters[i] = if taken { Counter2(3) } else { Counter2(0) };
+        }
+    }
+}
+
+/// The bimodal local predictor (4k entries): a PC-indexed table of 2-bit
+/// counters; the fallback when the global predictor abstains.
+#[derive(Clone, Debug)]
+pub struct LocalPredictor {
+    counters: Vec<Counter2>,
+    /// Tracks whether the entry was ever trained, so cold predictions can
+    /// be distinguished in statistics.
+    trained: Vec<bool>,
+}
+
+impl LocalPredictor {
+    /// Creates a predictor with `entries` counters (power of two).
+    pub fn new(entries: usize) -> Self {
+        LocalPredictor { counters: vec![Counter2::WEAK_TAKEN; entries], trained: vec![false; entries] }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc.as_u64() >> 2) & (self.counters.len() as u64 - 1)) as usize
+    }
+
+    /// Predicted direction for `pc` (always produces a prediction).
+    pub fn predict(&self, pc: Addr) -> bool {
+        self.counters[self.index(pc)].predict_taken()
+    }
+
+    /// Whether the entry for `pc` has ever been updated.
+    pub fn is_trained(&self, pc: Addr) -> bool {
+        self.trained[self.index(pc)]
+    }
+
+    /// Trains the entry for `pc`.
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.index(pc);
+        self.counters[i].update(taken);
+        self.trained[i] = true;
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopEntry {
+    tag: u16,
+    valid: bool,
+    /// Learned trip count (taken iterations before the exit).
+    limit: u16,
+    /// Iterations observed in the current traversal.
+    current: u16,
+    /// Confidence that `limit` repeats (saturates at 3; predicts at >= 2).
+    confidence: u8,
+}
+
+/// The loop predictor (256 entries): learns fixed trip counts and predicts
+/// the final not-taken iteration of counted loops, which global/local
+/// history predictors systematically miss.
+#[derive(Clone, Debug)]
+pub struct LoopPredictor {
+    entries: Vec<LoopEntry>,
+}
+
+impl LoopPredictor {
+    /// Creates a predictor with `entries` slots (power of two).
+    pub fn new(entries: usize) -> Self {
+        LoopPredictor { entries: vec![LoopEntry::default(); entries] }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc.as_u64() >> 2) & (self.entries.len() as u64 - 1)) as usize
+    }
+
+    fn tag(pc: Addr) -> u16 {
+        ((pc.as_u64() >> 10) & 0x3ff) as u16
+    }
+
+    /// Predicts the direction of a loop-closing branch, or `None` when the
+    /// entry is unknown or not yet confident.
+    pub fn predict(&self, pc: Addr) -> Option<bool> {
+        let e = &self.entries[self.index(pc)];
+        if e.valid && e.tag == Self::tag(pc) && e.confidence >= 2 && e.limit > 0 {
+            Some(e.current < e.limit)
+        } else {
+            None
+        }
+    }
+
+    /// Trains on an executed branch direction.
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.index(pc);
+        let tag = Self::tag(pc);
+        let e = &mut self.entries[i];
+        if !e.valid || e.tag != tag {
+            *e = LoopEntry { tag, valid: true, limit: 0, current: 0, confidence: 0 };
+        }
+        if taken {
+            e.current = e.current.saturating_add(1);
+        } else {
+            // Loop exit: does the observed trip count match the learned one?
+            if e.limit == e.current && e.limit > 0 {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.limit = e.current;
+                e.confidence = 0;
+            }
+            e.current = 0;
+        }
+    }
+}
+
+/// The branch target buffer for direct branches (2k entries, tagged).
+/// A taken branch whose target is absent from the BTB is a front-end
+/// misprediction even when the direction was right.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    tags: Vec<u32>,
+    targets: Vec<Addr>,
+    valid: Vec<bool>,
+}
+
+impl Btb {
+    /// Creates an empty BTB with `entries` slots (power of two).
+    pub fn new(entries: usize) -> Self {
+        Btb { tags: vec![0; entries], targets: vec![Addr::NULL; entries], valid: vec![false; entries] }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc.as_u64() >> 2) & (self.tags.len() as u64 - 1)) as usize
+    }
+
+    fn tag(&self, pc: Addr) -> u32 {
+        ((pc.as_u64() >> 2) >> self.tags.len().trailing_zeros()) as u32
+    }
+
+    /// The stored target for `pc`, if present.
+    pub fn lookup(&self, pc: Addr) -> Option<Addr> {
+        let i = self.index(pc);
+        (self.valid[i] && self.tags[i] == self.tag(pc)).then(|| self.targets[i])
+    }
+
+    /// Installs or refreshes the target for `pc`.
+    pub fn update(&mut self, pc: Addr, target: Addr) {
+        let i = self.index(pc);
+        self.tags[i] = self.tag(pc);
+        self.targets[i] = target;
+        self.valid[i] = true;
+    }
+}
+
+/// The indirect branch target buffer (256 entries), indexed by PIR ^ PC so
+/// the same dispatch site can hold different targets on different paths.
+#[derive(Clone, Debug)]
+pub struct IndirectBtb {
+    tags: Vec<u16>,
+    targets: Vec<Addr>,
+    valid: Vec<bool>,
+}
+
+impl IndirectBtb {
+    /// Creates an empty iBTB with `entries` slots (power of two).
+    pub fn new(entries: usize) -> Self {
+        IndirectBtb {
+            tags: vec![0; entries],
+            targets: vec![Addr::NULL; entries],
+            valid: vec![false; entries],
+        }
+    }
+
+    /// The stored target for this (path, pc) pair, if present.
+    pub fn lookup(&self, pir: PathInfoRegister, pc: Addr) -> Option<Addr> {
+        let i = pir.index(pc, self.tags.len());
+        (self.valid[i] && self.tags[i] == pir.tag(pc)).then(|| self.targets[i])
+    }
+
+    /// Installs the observed target for this (path, pc) pair.
+    pub fn update(&mut self, pir: PathInfoRegister, pc: Addr, target: Addr) {
+        let i = pir.index(pc, self.tags.len());
+        self.tags[i] = pir.tag(pc);
+        self.targets[i] = target;
+        self.valid[i] = true;
+    }
+}
+
+/// The return address stack. ESP clears it when leaving a speculative
+/// mode, because it may hold return addresses pushed by pre-executed
+/// functions (§4.1, "Exiting ESP mode").
+#[derive(Clone, Debug)]
+pub struct ReturnStack {
+    stack: Vec<Addr>,
+    capacity: usize,
+}
+
+impl ReturnStack {
+    /// Creates a stack holding up to `capacity` return addresses.
+    pub fn new(capacity: usize) -> Self {
+        ReturnStack { stack: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes a return address (a call retired); the oldest entry is
+    /// dropped on overflow.
+    pub fn push(&mut self, ret: Addr) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret);
+    }
+
+    /// Pops the predicted return address, if any.
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.stack.pop()
+    }
+
+    /// Empties the stack.
+    pub fn clear(&mut self) {
+        self.stack.clear();
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2(0);
+        for _ in 0..5 {
+            c.update(true);
+        }
+        assert!(c.predict_taken());
+        assert_eq!(c.0, 3);
+        for _ in 0..5 {
+            c.update(false);
+        }
+        assert!(!c.predict_taken());
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn global_tag_filtering() {
+        let mut g = GlobalPredictor::new(64);
+        let pir = PathInfoRegister::new();
+        let pc = Addr::new(0x1000);
+        assert_eq!(g.predict(pir, pc), None);
+        g.update(pir, pc, true, true);
+        assert_eq!(g.predict(pir, pc), Some(true));
+        // Non-allocating update on a missing entry changes nothing.
+        let other = Addr::new(0x2f00);
+        g.update(pir, other, false, false);
+        assert_eq!(g.predict(pir, other), None);
+    }
+
+    #[test]
+    fn global_is_path_sensitive() {
+        let mut g = GlobalPredictor::new(1024);
+        let pc = Addr::new(0x1000);
+        let pir_a = PathInfoRegister::new();
+        let mut pir_b = PathInfoRegister::new();
+        pir_b.update_taken(Addr::new(0x500), Addr::new(0x40));
+        g.update(pir_a, pc, true, true);
+        g.update(pir_b, pc, false, true);
+        assert_eq!(g.predict(pir_a, pc), Some(true));
+        assert_eq!(g.predict(pir_b, pc), Some(false));
+    }
+
+    #[test]
+    fn local_learns_bias() {
+        let mut l = LocalPredictor::new(64);
+        let pc = Addr::new(0x40);
+        assert!(!l.is_trained(pc));
+        for _ in 0..3 {
+            l.update(pc, false);
+        }
+        assert!(!l.predict(pc));
+        assert!(l.is_trained(pc));
+    }
+
+    #[test]
+    fn loop_predictor_learns_trip_count() {
+        let mut lp = LoopPredictor::new(64);
+        let pc = Addr::new(0x88);
+        // Three traversals of a 5-iteration loop to build confidence.
+        for _ in 0..3 {
+            for _ in 0..5 {
+                lp.update(pc, true);
+            }
+            lp.update(pc, false);
+        }
+        // Now it predicts taken for 5 iterations then not-taken.
+        for i in 0..5 {
+            assert_eq!(lp.predict(pc), Some(true), "iteration {i}");
+            lp.update(pc, true);
+        }
+        assert_eq!(lp.predict(pc), Some(false));
+        lp.update(pc, false);
+    }
+
+    #[test]
+    fn loop_predictor_abstains_without_confidence() {
+        let mut lp = LoopPredictor::new(64);
+        let pc = Addr::new(0x88);
+        lp.update(pc, true);
+        lp.update(pc, false);
+        assert_eq!(lp.predict(pc), None);
+    }
+
+    #[test]
+    fn btb_roundtrip_and_conflicts() {
+        let mut b = Btb::new(16);
+        let pc = Addr::new(0x100);
+        assert_eq!(b.lookup(pc), None);
+        b.update(pc, Addr::new(0x2000));
+        assert_eq!(b.lookup(pc), Some(Addr::new(0x2000)));
+        // A conflicting pc (same index, different tag) evicts.
+        let conflicting = Addr::new(0x100 + 16 * 4);
+        b.update(conflicting, Addr::new(0x3000));
+        assert_eq!(b.lookup(pc), None);
+        assert_eq!(b.lookup(conflicting), Some(Addr::new(0x3000)));
+    }
+
+    #[test]
+    fn ibtb_is_path_sensitive() {
+        let mut ib = IndirectBtb::new(256);
+        let pc = Addr::new(0x500);
+        let pir_a = PathInfoRegister::new();
+        let mut pir_b = PathInfoRegister::new();
+        pir_b.update_taken(Addr::new(0x900), Addr::new(0x10));
+        ib.update(pir_a, pc, Addr::new(0x7000));
+        ib.update(pir_b, pc, Addr::new(0x8000));
+        assert_eq!(ib.lookup(pir_a, pc), Some(Addr::new(0x7000)));
+        assert_eq!(ib.lookup(pir_b, pc), Some(Addr::new(0x8000)));
+    }
+
+    #[test]
+    fn ras_lifo_and_overflow() {
+        let mut r = ReturnStack::new(2);
+        r.push(Addr::new(1));
+        r.push(Addr::new(2));
+        r.push(Addr::new(3)); // drops 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(Addr::new(3)));
+        assert_eq!(r.pop(), Some(Addr::new(2)));
+        assert_eq!(r.pop(), None);
+        r.push(Addr::new(9));
+        r.clear();
+        assert_eq!(r.depth(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Predictor sizing.
+
+use esp_types::{Error, Result};
+
+/// Sizes of the predictor structures (Fig. 7's Pentium M configuration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Entries in the tagged global predictor.
+    pub global_entries: usize,
+    /// Entries in the bimodal local predictor.
+    pub local_entries: usize,
+    /// Entries in the loop predictor.
+    pub loop_entries: usize,
+    /// Entries in the branch target buffer for direct branches.
+    pub btb_entries: usize,
+    /// Entries in the indirect branch target buffer.
+    pub ibtb_entries: usize,
+    /// Return address stack depth.
+    pub ras_entries: usize,
+    /// Misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Decode-stage re-steer penalty for direct-target BTB misses.
+    pub misfetch_penalty: u64,
+}
+
+impl BranchConfig {
+    /// The paper's configuration: 2k-entry global predictor, 4k-entry
+    /// local predictor, 256-entry loop predictor, 2k-entry BTB, 256-entry
+    /// iBTB, 15-cycle misprediction penalty.
+    pub fn pentium_m() -> Self {
+        BranchConfig {
+            global_entries: 2048,
+            local_entries: 4096,
+            loop_entries: 256,
+            btb_entries: 2048,
+            ibtb_entries: 256,
+            ras_entries: 16,
+            mispredict_penalty: 15,
+            misfetch_penalty: 6,
+        }
+    }
+
+    /// Validates that all table sizes are positive powers of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        let fields = [
+            ("global_entries", self.global_entries),
+            ("local_entries", self.local_entries),
+            ("loop_entries", self.loop_entries),
+            ("btb_entries", self.btb_entries),
+            ("ibtb_entries", self.ibtb_entries),
+        ];
+        for (name, v) in fields {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(Error::invalid_config(format!(
+                    "{name} must be a positive power of two, got {v}"
+                )));
+            }
+        }
+        if self.ras_entries == 0 {
+            return Err(Error::invalid_config("ras_entries must be positive"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig::pentium_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pentium_m_is_valid() {
+        BranchConfig::pentium_m().validate().unwrap();
+        assert_eq!(BranchConfig::default(), BranchConfig::pentium_m());
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let mut c = BranchConfig::pentium_m();
+        c.global_entries = 1000;
+        assert!(c.validate().is_err());
+        let mut c = BranchConfig::pentium_m();
+        c.local_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = BranchConfig::pentium_m();
+        c.ras_entries = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The Path Information Register.
+
+use esp_types::Addr;
+
+/// The 15-bit Path Information Register (PIR) that indexes the global and
+/// indirect predictor tables.
+///
+/// Following the Pentium M scheme, the PIR hashes the addresses and
+/// targets of *taken* branches; not-taken branches leave it unchanged.
+/// ESP replicates this small register per execution context (§4.3) —
+/// "preserving the small PIR states across control switches between
+/// events can result in significantly more accurate branch predictions".
+///
+/// # Examples
+///
+/// ```
+/// use esp_branch::PathInfoRegister;
+/// use esp_types::Addr;
+///
+/// let mut a = PathInfoRegister::new();
+/// let mut b = PathInfoRegister::new();
+/// a.update_taken(Addr::new(0x1230), Addr::new(0x88));
+/// assert_ne!(a, b);
+/// b.update_taken(Addr::new(0x1230), Addr::new(0x88));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PathInfoRegister {
+    value: u16,
+}
+
+/// PIR width in bits.
+const PIR_BITS: u32 = 15;
+const PIR_MASK: u16 = (1 << PIR_BITS) - 1;
+
+impl PathInfoRegister {
+    /// Creates a cleared PIR.
+    pub const fn new() -> Self {
+        PathInfoRegister { value: 0 }
+    }
+
+    /// The current register value (15 bits).
+    pub const fn value(self) -> u16 {
+        self.value
+    }
+
+    /// Folds a taken branch (its address and target) into the path history.
+    pub fn update_taken(&mut self, pc: Addr, target: Addr) {
+        let pc_bits = ((pc.as_u64() >> 4) & 0x7fff) as u16;
+        let tgt_bits = ((target.as_u64() >> 2) & 0x3f) as u16;
+        self.value = (((self.value << 2) ^ pc_bits) ^ tgt_bits) & PIR_MASK;
+    }
+
+    /// Clears the history (used when a context is recycled for a new
+    /// event).
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+
+    /// Combines the PIR with a branch address to index a table of
+    /// `entries` slots (power of two).
+    pub fn index(self, pc: Addr, entries: usize) -> usize {
+        let h = (self.value as u64) ^ (pc.as_u64() >> 4);
+        (h & (entries as u64 - 1)) as usize
+    }
+
+    /// A short tag distinguishing aliased branches in tagged tables.
+    pub fn tag(self, pc: Addr) -> u16 {
+        ((((pc.as_u64() >> 4) ^ ((self.value as u64) << 3)) >> 8) & 0x3f) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_within_15_bits() {
+        let mut p = PathInfoRegister::new();
+        for i in 0..1000u64 {
+            p.update_taken(Addr::new(i * 0x9137), Addr::new(i * 0x51f1));
+            assert!(p.value() <= PIR_MASK);
+        }
+    }
+
+    #[test]
+    fn not_updating_preserves_value() {
+        let p = PathInfoRegister::new();
+        let q = p;
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut p = PathInfoRegister::new();
+        p.update_taken(Addr::new(0x1234), Addr::new(0x88));
+        assert_ne!(p.value(), 0);
+        p.clear();
+        assert_eq!(p.value(), 0);
+    }
+
+    #[test]
+    fn different_paths_give_different_indices_usually() {
+        let pc = Addr::new(0x4444);
+        let mut p = PathInfoRegister::new();
+        let mut q = PathInfoRegister::new();
+        p.update_taken(Addr::new(0x100), Addr::new(0x10));
+        q.update_taken(Addr::new(0x900), Addr::new(0x20));
+        assert_ne!(p.index(pc, 2048), q.index(pc, 2048));
+    }
+
+    #[test]
+    fn index_is_in_range() {
+        let mut p = PathInfoRegister::new();
+        for i in 0..100u64 {
+            p.update_taken(Addr::new(i << 5), Addr::new(i << 7));
+            assert!(p.index(Addr::new(i * 12345), 256) < 256);
+        }
+    }
+}

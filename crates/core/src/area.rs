@@ -1,0 +1,121 @@
+//! The Fig. 8 hardware inventory and area accounting.
+
+use esp_lists::ListCapacities;
+
+/// One hardware structure added by ESP, with its per-mode sizes in bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AreaRow {
+    /// Structure name as in Fig. 8.
+    pub name: &'static str,
+    /// Short description.
+    pub description: &'static str,
+    /// Bytes provisioned for ESP-1.
+    pub esp1_bytes: u64,
+    /// Bytes provisioned for ESP-2.
+    pub esp2_bytes: u64,
+}
+
+/// The complete Fig. 8 table: every structure ESP adds to the baseline,
+/// sized exactly as the paper provisions them (12.6 KB for ESP-1 plus
+/// 1.2 KB for ESP-2, 13.8 KB total).
+///
+/// # Examples
+///
+/// ```
+/// let rows = esp_core::area_table();
+/// let total: u64 = rows.iter().map(|r| r.esp1_bytes + r.esp2_bytes).sum();
+/// assert_eq!(total, esp_core::total_added_bytes());
+/// ```
+pub fn area_table() -> Vec<AreaRow> {
+    let c1 = ListCapacities::esp1();
+    let c2 = ListCapacities::esp2();
+    vec![
+        AreaRow {
+            name: "L1-(I,D) Cachelet",
+            description: "12-way, 64 B lines, 2 cycle hit latency, LRU",
+            // 5.5 KB instruction + 5.5 KB data for ESP-1; 0.5 KB each for
+            // ESP-2.
+            esp1_bytes: 2 * 5632,
+            esp2_bytes: 2 * 512,
+        },
+        AreaRow {
+            name: "I-List",
+            description: "Circular queue",
+            esp1_bytes: c1.i_list as u64,
+            esp2_bytes: c2.i_list as u64,
+        },
+        AreaRow {
+            name: "D-List",
+            description: "Circular queue",
+            esp1_bytes: c1.d_list as u64,
+            esp2_bytes: c2.d_list as u64,
+        },
+        AreaRow {
+            name: "B-List-Direction",
+            description: "Circular queue",
+            esp1_bytes: c1.b_dir as u64,
+            esp2_bytes: c2.b_dir as u64,
+        },
+        AreaRow {
+            name: "B-List-Target",
+            description: "Circular queue",
+            esp1_bytes: c1.b_tgt as u64,
+            esp2_bytes: c2.b_tgt as u64,
+        },
+        AreaRow {
+            name: "RRAT",
+            description: "32-entry RAT",
+            esp1_bytes: 28,
+            esp2_bytes: 28,
+        },
+        AreaRow {
+            name: "HW Event Queue",
+            description: "2-entry queue",
+            esp1_bytes: 8,
+            esp2_bytes: 8,
+        },
+        AreaRow {
+            name: "Special Registers",
+            description: "PC, SP, Flags, ESP-mode",
+            esp1_bytes: 12,
+            esp2_bytes: 12,
+        },
+    ]
+}
+
+/// Total bytes of hardware state ESP adds (the paper reports 13.8 KB).
+pub fn total_added_bytes() -> u64 {
+    area_table().iter().map(|r| r.esp1_bytes + r.esp2_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_fig8() {
+        let rows = area_table();
+        let esp1: u64 = rows.iter().map(|r| r.esp1_bytes).sum();
+        let esp2: u64 = rows.iter().map(|r| r.esp2_bytes).sum();
+        // Fig. 8: ESP-1 additions 12.6 KB, ESP-2 additions 1.2 KB.
+        assert!((12_500..13_000).contains(&esp1), "esp1={esp1}");
+        assert!((1_100..1_300).contains(&esp2), "esp2={esp2}");
+        let total = total_added_bytes();
+        // "ESP adds 13.8 KB of hardware state to baseline."
+        assert!((13_600..14_400).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn list_rows_match_fig8_exactly() {
+        let rows = area_table();
+        let find = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(find("I-List").esp1_bytes, 499);
+        assert_eq!(find("I-List").esp2_bytes, 68);
+        assert_eq!(find("D-List").esp1_bytes, 510);
+        assert_eq!(find("D-List").esp2_bytes, 57);
+        assert_eq!(find("B-List-Direction").esp1_bytes, 566);
+        assert_eq!(find("B-List-Direction").esp2_bytes, 80);
+        assert_eq!(find("B-List-Target").esp1_bytes, 41);
+        assert_eq!(find("B-List-Target").esp2_bytes, 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! The per-run report: cycles, rates, energy.
+
+use crate::esp_state::EspRunStats;
+use crate::replay::ReplayStats;
+use crate::working_set::WorkingSetReport;
+use esp_energy::{ActivityCounts, EnergyBreakdown};
+use esp_stats::{mpki, percent};
+use esp_uarch::{CycleBreakdown, EngineStats};
+use std::fmt;
+
+/// Everything one simulation run produced.
+///
+/// Performance comparisons in the figures use [`RunReport::busy_cycles`]
+/// (idle cycles waiting for events to arrive are excluded, matching the
+/// paper's per-event execution focus; a faster core waits more, not
+/// less).
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Total simulated cycles, including idle.
+    pub total_cycles: u64,
+    /// The cycle breakdown.
+    pub breakdown: CycleBreakdown,
+    /// Normal-mode engine counters.
+    pub engine: EngineStats,
+    /// ESP activity (zeroed for non-ESP runs).
+    pub esp: EspRunStats,
+    /// List replay counters.
+    pub replay: ReplayStats,
+    /// Events executed.
+    pub events_run: u64,
+    /// The Fig. 14 energy decomposition.
+    pub energy: EnergyBreakdown,
+    /// The raw activity counts behind `energy`.
+    pub activity: ActivityCounts,
+    /// Working-set samples (present only with measurement enabled).
+    pub working_sets: Option<WorkingSetReport>,
+}
+
+impl RunReport {
+    /// Cycles spent executing (total minus idle) — the figure of merit.
+    pub fn busy_cycles(&self) -> u64 {
+        self.total_cycles - self.breakdown.idle
+    }
+
+    /// Normal-mode instructions per busy cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.busy_cycles() == 0 {
+            0.0
+        } else {
+            self.engine.retired as f64 / self.busy_cycles() as f64
+        }
+    }
+
+    /// L1-I misses per kilo-instruction (Fig. 11a's metric).
+    pub fn l1i_mpki(&self) -> f64 {
+        mpki(self.engine.l1i_misses, self.engine.retired)
+    }
+
+    /// L1-D miss rate in percent (Fig. 11b's metric).
+    pub fn l1d_miss_rate_pct(&self) -> f64 {
+        percent(self.engine.l1d_misses, self.engine.l1d_accesses)
+    }
+
+    /// Branch misprediction rate in percent (Fig. 12's metric).
+    pub fn mispredict_rate_pct(&self) -> f64 {
+        percent(self.engine.mispredicts, self.engine.branches)
+    }
+
+    /// Speculatively executed instructions (runahead + ESP modes) as a
+    /// percentage of committed instructions (Fig. 14's bar labels).
+    pub fn extra_instr_pct(&self) -> f64 {
+        self.activity.extra_instr_pct()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events, {} instructions in {} busy cycles (IPC {:.3}, {} idle)",
+            self.events_run,
+            self.engine.retired,
+            self.busy_cycles(),
+            self.ipc(),
+            self.breakdown.idle
+        )?;
+        writeln!(
+            f,
+            "  stalls: icache {} | dcache {} | branch {} | base {}",
+            self.breakdown.icache, self.breakdown.dcache, self.breakdown.branch, self.breakdown.base
+        )?;
+        writeln!(
+            f,
+            "  L1-I MPKI {:.2} | L1-D miss {:.2}% | mispredict {:.2}%",
+            self.l1i_mpki(),
+            self.l1d_miss_rate_pct(),
+            self.mispredict_rate_pct()
+        )?;
+        if self.esp.windows > 0 || self.engine.runahead_instrs > 0 {
+            writeln!(
+                f,
+                "  speculative: {:.1}% extra instructions, {} ESP windows, replay {}i/{}d/{}b",
+                self.extra_instr_pct(),
+                self.esp.windows,
+                self.replay.iprefetches,
+                self.replay.dprefetches,
+                self.replay.btrains
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let mut r = RunReport::default();
+        r.total_cycles = 100;
+        r.engine.retired = 50;
+        r.events_run = 2;
+        let s = r.to_string();
+        assert!(s.contains("2 events"));
+        assert!(s.contains("MPKI"));
+        // Speculative line only appears for speculative runs.
+        assert!(!s.contains("speculative"));
+        r.esp.windows = 5;
+        assert!(r.to_string().contains("speculative"));
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut r = RunReport::default();
+        r.total_cycles = 1_500;
+        r.breakdown.idle = 500;
+        r.engine.retired = 2_000;
+        r.engine.l1i_misses = 35;
+        r.engine.l1d_accesses = 800;
+        r.engine.l1d_misses = 24;
+        r.engine.branches = 400;
+        r.engine.mispredicts = 40;
+        assert_eq!(r.busy_cycles(), 1_000);
+        assert!((r.ipc() - 2.0).abs() < 1e-9);
+        assert!((r.l1i_mpki() - 17.5).abs() < 1e-9);
+        assert!((r.l1d_miss_rate_pct() - 3.0).abs() < 1e-9);
+        assert!((r.mispredict_rate_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.l1i_mpki(), 0.0);
+        assert_eq!(r.extra_instr_pct(), 0.0);
+    }
+}

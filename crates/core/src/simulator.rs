@@ -1,0 +1,297 @@
+//! The top-level simulation driver.
+
+use crate::config::{SimConfig, SimMode};
+use crate::esp_state::EspState;
+use crate::replay::ReplayState;
+use crate::report::RunReport;
+use esp_energy::{ActivityCounts, EnergyModel};
+use esp_trace::{Instr, Workload};
+use esp_types::Addr;
+use esp_uarch::{Engine, StallKind};
+use std::collections::HashSet;
+
+/// Code region of the synthetic looper (event-queue management): a small
+/// hot loop executed between events.
+const LOOPER_PC_BASE: u64 = 0x0040_0000;
+/// Data region of the looper's queue structures.
+const LOOPER_QUEUE_BASE: u64 = 0x0060_0000;
+
+/// The ESP simulator: one machine configuration, runnable over any
+/// [`Workload`].
+///
+/// # Examples
+///
+/// ```
+/// use esp_core::{SimConfig, Simulator};
+/// use esp_workload::BenchmarkProfile;
+///
+/// let w = BenchmarkProfile::pixlr().scaled(30_000).build(1);
+/// let report = Simulator::new(SimConfig::base()).run(&w);
+/// assert!(report.engine.retired > 30_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SimConfig::validate`].
+    pub fn new(config: SimConfig) -> Self {
+        config.validate().expect("invalid simulation configuration");
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The looper's instruction sequence executed before event `idx`:
+    /// queue-management loads over a hot structure plus ALU work, all in
+    /// one small code region (§3.6 observes ~70 such instructions).
+    fn looper_instrs(&self, idx: usize) -> Vec<Instr> {
+        let n = self.config.looper_instrs as u64;
+        (0..n)
+            .map(|i| {
+                let pc = Addr::new(LOOPER_PC_BASE + (i % 32) * 4);
+                if i % 4 == 1 {
+                    Instr::load(pc, Addr::new(LOOPER_QUEUE_BASE + ((idx as u64 + i) % 16) * 64), false)
+                } else {
+                    Instr::alu(pc)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the workload to completion and reports.
+    pub fn run(&self, workload: &dyn Workload) -> RunReport {
+        let mut engine = Engine::new(self.config.engine.clone());
+        let mut esp: Option<EspState<'_>> = match &self.config.mode {
+            SimMode::Esp(f) => Some(EspState::new(*f, workload)),
+            _ => None,
+        };
+        let measure = self
+            .config
+            .esp_features()
+            .is_some_and(|f| f.measure_working_sets);
+        let ideal = self.config.esp_features().is_some_and(|f| f.ideal);
+        let mut replay = ReplayState::default();
+        if let Some(f) = self.config.esp_features() {
+            replay.set_leads(f.prefetch_lead_instrs, f.bp_train_lead_branches);
+        }
+        let mut pending_lists = None;
+        let events = workload.events();
+        let line_bytes = self.config.engine.machine.hierarchy.l1i.line_bytes;
+
+        for (idx, record) in events.iter().enumerate() {
+            // The looper cannot dequeue an event before it is posted.
+            engine.idle_until(record.post_time);
+
+            // Arm replay with whatever the event's pre-execution gathered
+            // and use the looper prologue as the prefetch head start.
+            replay.arm(pending_lists.take(), ideal, &mut engine);
+            for li in self.looper_instrs(idx) {
+                replay.tick(&mut engine, 0, 0);
+                engine.step(&li);
+            }
+
+            let mut stream = workload.actual_stream(record.id);
+            let mut branches = 0u64;
+            let mut iws: HashSet<u64> = HashSet::new();
+            let mut dws: HashSet<u64> = HashSet::new();
+            loop {
+                replay.tick(&mut engine, stream.executed(), branches);
+                let Some(instr) = stream.next_instr() else {
+                    break;
+                };
+                if measure {
+                    iws.insert(instr.pc.line(line_bytes).as_u64());
+                    if let Some(a) = instr.mem_addr() {
+                        dws.insert(a.line(line_bytes).as_u64());
+                    }
+                }
+                let out = engine.step(&instr);
+                if instr.is_branch() {
+                    branches += 1;
+                }
+                if let Some(stall) = out.stall {
+                    match &self.config.mode {
+                        SimMode::Baseline => {}
+                        SimMode::Runahead { data_only } => {
+                            if stall.kind == StallKind::DataLlcMiss {
+                                engine.run_runahead_flavored(
+                                    &*stream,
+                                    stall.start,
+                                    stall.cycles,
+                                    *data_only,
+                                );
+                            }
+                        }
+                        SimMode::Esp(_) => {
+                            let esp = esp.as_mut().expect("ESP mode without ESP state");
+                            esp.spend_window(&mut engine, stall, idx);
+                        }
+                    }
+                }
+            }
+
+            if let Some(esp) = esp.as_mut() {
+                if measure {
+                    esp.record_normal_working_set(iws.len(), dws.len());
+                }
+                pending_lists = esp.on_event_complete(idx + 1);
+                engine.bp_mut().promote_event();
+            }
+        }
+
+        self.assemble_report(engine, esp, replay, events.len() as u64)
+    }
+
+    fn assemble_report(
+        &self,
+        engine: Engine,
+        esp: Option<EspState<'_>>,
+        replay: ReplayState,
+        events_run: u64,
+    ) -> RunReport {
+        let mut report = RunReport {
+            total_cycles: engine.now().as_u64(),
+            breakdown: *engine.breakdown(),
+            engine: *engine.stats(),
+            events_run,
+            replay: replay.stats(),
+            ..RunReport::default()
+        };
+        if let Some(mut esp) = esp {
+            let measure = self
+                .config
+                .esp_features()
+                .is_some_and(|f| f.measure_working_sets);
+            if measure {
+                report.working_sets = Some(esp.take_working_sets());
+            }
+            report.esp = esp.stats().clone();
+        }
+        let spec = report.esp.spec_instrs() + report.engine.runahead_instrs;
+        report.activity = ActivityCounts {
+            cycles: report.busy_cycles(),
+            normal_instrs: report.engine.retired,
+            spec_instrs: spec,
+            mispredicts: report.engine.mispredicts,
+        };
+        report.energy = EnergyModel::mcpat_32nm().report(&report.activity);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use esp_uarch::PerfectFlags;
+    use esp_workload::BenchmarkProfile;
+
+    fn workload() -> esp_workload::GeneratedWorkload {
+        BenchmarkProfile::amazon().scaled(120_000).build(42)
+    }
+
+    #[test]
+    fn baseline_run_completes_and_counts() {
+        let w = workload();
+        let r = Simulator::new(SimConfig::base()).run(&w);
+        assert_eq!(r.events_run, w.events().len() as u64);
+        // Retired = workload instructions + looper prologues.
+        let expected = w.schedule().total_instructions() + 70 * r.events_run;
+        assert_eq!(r.engine.retired, expected);
+        assert!(r.total_cycles > 0);
+        assert!(r.ipc() > 0.1 && r.ipc() < 4.0, "ipc={}", r.ipc());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = workload();
+        let a = Simulator::new(SimConfig::esp_nl()).run(&w);
+        let b = Simulator::new(SimConfig::esp_nl()).run(&w);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.esp, b.esp);
+    }
+
+    #[test]
+    fn perfect_all_is_fastest() {
+        let w = workload();
+        let base = Simulator::new(SimConfig::base()).run(&w);
+        let perfect = Simulator::new(SimConfig::perfect(PerfectFlags::all())).run(&w);
+        let esp = Simulator::new(SimConfig::esp_nl()).run(&w);
+        assert!(perfect.busy_cycles() < base.busy_cycles());
+        assert!(perfect.busy_cycles() < esp.busy_cycles());
+    }
+
+    #[test]
+    fn next_line_beats_base() {
+        let w = workload();
+        let base = Simulator::new(SimConfig::base()).run(&w);
+        let nl = Simulator::new(SimConfig::next_line()).run(&w);
+        assert!(
+            nl.busy_cycles() < base.busy_cycles(),
+            "NL {} !< base {}",
+            nl.busy_cycles(),
+            base.busy_cycles()
+        );
+    }
+
+    #[test]
+    fn esp_beats_next_line() {
+        let w = workload();
+        let nl = Simulator::new(SimConfig::next_line()).run(&w);
+        let esp = Simulator::new(SimConfig::esp_nl()).run(&w);
+        assert!(
+            esp.busy_cycles() < nl.busy_cycles(),
+            "ESP+NL {} !< NL {}",
+            esp.busy_cycles(),
+            nl.busy_cycles()
+        );
+        assert!(esp.esp.spec_instrs() > 0, "ESP must actually pre-execute");
+        assert!(esp.l1i_mpki() < nl.l1i_mpki(), "ESP must cut I-MPKI");
+    }
+
+    #[test]
+    fn runahead_helps_data_but_less_than_esp() {
+        let w = workload();
+        let base = Simulator::new(SimConfig::base()).run(&w);
+        let ra = Simulator::new(SimConfig::runahead()).run(&w);
+        assert!(ra.busy_cycles() < base.busy_cycles());
+        assert!(ra.engine.runahead_instrs > 0);
+        assert!(ra.l1d_miss_rate_pct() < base.l1d_miss_rate_pct());
+    }
+
+    #[test]
+    fn blist_improves_branch_prediction() {
+        let w = workload();
+        let without = Simulator::new(SimConfig::esp_bp_separate_context()).run(&w);
+        let with = Simulator::new(SimConfig::esp_nl()).run(&w);
+        assert!(
+            with.mispredict_rate_pct() < without.mispredict_rate_pct(),
+            "B-list {} !< no-B-list {}",
+            with.mispredict_rate_pct(),
+            without.mispredict_rate_pct()
+        );
+    }
+
+    #[test]
+    fn working_sets_are_collected_in_probe_mode() {
+        let w = BenchmarkProfile::pixlr().scaled(60_000).build(3);
+        let r = Simulator::new(SimConfig::esp_depth_probe()).run(&w);
+        let ws = r.working_sets.expect("probe mode must collect samples");
+        assert!(!ws.normal_i.is_empty());
+        assert!(!ws.by_depth_i[0].is_empty());
+        // ESP-1 working sets are an order of magnitude below normal ones.
+        let max_normal = *ws.normal_i.iter().max().unwrap();
+        let max_esp1 = ws.by_depth_i[0].iter().max().copied().unwrap_or(0);
+        assert!(max_esp1 <= max_normal, "esp1 {max_esp1} > normal {max_normal}");
+    }
+}

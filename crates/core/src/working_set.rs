@@ -1,0 +1,74 @@
+//! Working-set measurement for the Fig. 13 cachelet-sizing study.
+
+/// Per-mode working-set samples: for every (event, mode) tenure, the
+/// number of distinct cache blocks touched while the event executed in
+/// that mode. "Mode 0" in `by_depth` is ESP-1, etc.; `normal` holds the
+/// per-event normal-mode working sets for the "Normal" reference bar.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkingSetReport {
+    /// Distinct instruction lines per event in normal execution.
+    pub normal_i: Vec<usize>,
+    /// Distinct data lines per event in normal execution.
+    pub normal_d: Vec<usize>,
+    /// Instruction-side samples per ESP depth (index 0 = ESP-1).
+    pub by_depth_i: Vec<Vec<usize>>,
+    /// Data-side samples per ESP depth.
+    pub by_depth_d: Vec<Vec<usize>>,
+}
+
+impl WorkingSetReport {
+    /// Creates an empty report for `depth` ESP modes.
+    pub fn new(depth: usize) -> Self {
+        WorkingSetReport {
+            normal_i: Vec::new(),
+            normal_d: Vec::new(),
+            by_depth_i: vec![Vec::new(); depth],
+            by_depth_d: vec![Vec::new(); depth],
+        }
+    }
+}
+
+/// The `pct`-th percentile of `samples` (0 for an empty set). `pct` is in
+/// `[0, 100]`; 100 returns the maximum.
+///
+/// # Examples
+///
+/// ```
+/// let v = vec![1, 2, 3, 4, 100];
+/// assert_eq!(esp_core::percentile(&v, 100.0), 100);
+/// assert_eq!(esp_core::percentile(&v, 75.0), 4);
+/// assert_eq!(esp_core::percentile(&v, 0.0), 1);
+/// ```
+pub fn percentile(samples: &[usize], pct: f64) -> usize {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let rank = (pct / 100.0 * (v.len() - 1) as f64).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        assert_eq!(percentile(&[], 95.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let v: Vec<usize> = (1..=100).collect();
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        let p95 = percentile(&v, 95.0);
+        assert!((94..=96).contains(&p95), "p95={p95}");
+    }
+
+    #[test]
+    fn report_shape() {
+        let r = WorkingSetReport::new(8);
+        assert_eq!(r.by_depth_i.len(), 8);
+        assert_eq!(r.by_depth_d.len(), 8);
+        assert!(r.normal_i.is_empty());
+    }
+}

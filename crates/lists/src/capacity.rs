@@ -1,0 +1,71 @@
+//! The Fig. 8 list capacities.
+
+/// Byte capacities of the four list structures for one ESP mode.
+///
+/// # Examples
+///
+/// ```
+/// use esp_lists::ListCapacities;
+///
+/// let c1 = ListCapacities::esp1();
+/// let c2 = ListCapacities::esp2();
+/// assert!(c1.i_list > c2.i_list);
+/// assert_eq!(c1.total_bytes() + c2.total_bytes(), 499 + 68 + 510 + 57 + 566 + 80 + 41 + 6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListCapacities {
+    /// I-list bytes (instruction cache block addresses).
+    pub i_list: usize,
+    /// D-list bytes (data cache block addresses).
+    pub d_list: usize,
+    /// B-List-Direction bytes.
+    pub b_dir: usize,
+    /// B-List-Target bytes.
+    pub b_tgt: usize,
+}
+
+impl ListCapacities {
+    /// Fig. 8's ESP-1 capacities: 499 B, 510 B, 566 B, 41 B.
+    pub const fn esp1() -> Self {
+        ListCapacities { i_list: 499, d_list: 510, b_dir: 566, b_tgt: 41 }
+    }
+
+    /// Fig. 8's ESP-2 capacities: 68 B, 57 B, 80 B, 6 B.
+    pub const fn esp2() -> Self {
+        ListCapacities { i_list: 68, d_list: 57, b_dir: 80, b_tgt: 6 }
+    }
+
+    /// Effectively unbounded lists, for the "ideal ESP" configurations of
+    /// Figs. 11a/11b.
+    pub const fn unbounded() -> Self {
+        const BIG: usize = 1 << 24;
+        ListCapacities { i_list: BIG, d_list: BIG, b_dir: BIG, b_tgt: BIG }
+    }
+
+    /// Total bytes across the four lists.
+    pub const fn total_bytes(&self) -> usize {
+        self.i_list + self.d_list + self.b_dir + self.b_tgt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_values() {
+        let c1 = ListCapacities::esp1();
+        assert_eq!(c1.i_list, 499);
+        assert_eq!(c1.d_list, 510);
+        assert_eq!(c1.b_dir, 566);
+        assert_eq!(c1.b_tgt, 41);
+        assert_eq!(c1.total_bytes(), 1616);
+        let c2 = ListCapacities::esp2();
+        assert_eq!(c2.total_bytes(), 68 + 57 + 80 + 6);
+    }
+
+    #[test]
+    fn unbounded_is_large() {
+        assert!(ListCapacities::unbounded().i_list > ListCapacities::esp1().i_list * 1000);
+    }
+}

@@ -1,0 +1,64 @@
+//! The ESP prediction lists (§3.5, §4.2, §4.3).
+//!
+//! During speculative pre-execution ESP records what the event touched —
+//! instruction cache blocks, data cache blocks, and branch outcomes — into
+//! small hardware lists. Later, when the event executes for real, the
+//! lists drive timely prefetches and just-in-time branch-predictor
+//! training. The lists are the reason ESP works where a naive
+//! "prefetch straight into L1/L2" design does not (Fig. 10): the recorded
+//! addresses carry *instruction-count timestamps*, so the replay can be
+//! timely instead of premature.
+//!
+//! This crate implements the lists with **bit-accurate capacity
+//! accounting** using the paper's entry encodings:
+//!
+//! * [`AddrList`] (used for both the I-list and the D-list): 19-bit
+//!   entries — an 8-bit signed line-address delta from the previous entry,
+//!   a 3-bit contiguous-run length, a 7-bit instruction-count delta, and a
+//!   large-offset escape bit that spends two further entries on a full
+//!   26-bit block address.
+//! * [`BList`] (B-List-Direction + B-List-Target): 6-bit direction entries
+//!   (4-bit instruction-address delta, direction bit, indirect bit) with
+//!   the first two entries of every thirty holding instruction-count
+//!   headers; 17-bit target entries (16-bit offset + escape bit) for taken
+//!   indirect branches, with a two-extra-entry escape for far targets.
+//!
+//! Capacities default to Fig. 8: 499 B/68 B (I-list), 510 B/57 B (D-list),
+//! 566 B/80 B (B-List-Direction), 41 B/6 B (B-List-Target) for ESP-1/ESP-2
+//! respectively.
+//!
+//! ## Modelling notes
+//!
+//! Two small idealizations, both documented in `DESIGN.md`: the encoded
+//! 7-bit instruction-count delta saturates (the decoded record keeps the
+//! exact count, so replay timing is exact while capacity accounting stays
+//! faithful), and the decoded records of taken *direct* branches keep
+//! their statically-known targets for replay even though
+//! B-List-Direction does not store them (the hardware recovers direct
+//! targets at decode; indirect targets are gated on B-List-Target capacity
+//! exactly as in the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_lists::AddrList;
+//! use esp_types::LineAddr;
+//!
+//! let mut list = AddrList::new(499); // the ESP-1 I-list
+//! list.record(LineAddr::new(100), 0);
+//! list.record(LineAddr::new(101), 16); // contiguous: extends the run
+//! list.record(LineAddr::new(240), 40); // new entry
+//! assert_eq!(list.records().len(), 2);
+//! assert_eq!(list.records()[0].run_len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr_list;
+mod blist;
+mod capacity;
+
+pub use addr_list::{AddrList, AddrRecord};
+pub use blist::{BList, BranchRecord, RecordKind};
+pub use capacity::ListCapacities;

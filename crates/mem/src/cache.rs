@@ -1,0 +1,363 @@
+//! A generic set-associative LRU cache with fill latency.
+
+use crate::CacheConfig;
+use esp_stats::CacheStats;
+use esp_types::{Cycle, LineAddr};
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// The cycle at which the fill that brought this line completes. A
+    /// demand access before `ready` is a partial hit charged the remaining
+    /// latency.
+    ready: Cycle,
+    /// Set when the line was brought in by a prefetcher and not yet touched
+    /// by a demand access (for useful-prefetch accounting).
+    prefetched: bool,
+    /// LRU stamp; larger is more recent.
+    stamp: u64,
+}
+
+const INVALID: Line = Line { tag: 0, valid: false, ready: Cycle::ZERO, prefetched: false, stamp: 0 };
+
+/// The outcome of a demand access to a [`SetAssocCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was resident and its fill had completed; the payload is the
+    /// configured hit latency.
+    Hit(u64),
+    /// The line was resident but its fill is still in flight; the payload
+    /// is the remaining latency (at least the hit latency).
+    PartialHit(u64),
+    /// The line was absent.
+    Miss,
+}
+
+impl AccessResult {
+    /// The latency to charge for hit-class outcomes; `None` for misses.
+    pub fn hit_latency(self) -> Option<u64> {
+        match self {
+            AccessResult::Hit(l) | AccessResult::PartialHit(l) => Some(l),
+            AccessResult::Miss => None,
+        }
+    }
+
+    /// True for both full and partial hits.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, AccessResult::Miss)
+    }
+}
+
+/// A set-associative cache with true-LRU replacement and per-line fill
+/// latency.
+///
+/// Lines are indexed by [`LineAddr`]; the set index is the low bits of the
+/// line address and the tag is the rest, so the structure works for any
+/// power-of-two set count. The cache does not store data — only presence,
+/// which is all a timing model needs.
+///
+/// # Examples
+///
+/// ```
+/// use esp_mem::{AccessResult, CacheConfig, SetAssocCache};
+/// use esp_types::{Cycle, LineAddr};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::l1_32k("L1-D"));
+/// let line = LineAddr::new(77);
+/// assert_eq!(c.access(line, Cycle::ZERO), AccessResult::Miss);
+/// c.fill(line, Cycle::ZERO, Cycle::new(101), false);
+/// // An access at cycle 10 arrives 91 cycles before the fill completes.
+/// assert_eq!(c.access(line, Cycle::new(10)), AccessResult::PartialHit(91));
+/// assert_eq!(c.access(line, Cycle::new(200)), AccessResult::Hit(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let sets = config.sets() as usize;
+        SetAssocCache {
+            set_mask: sets as u64 - 1,
+            sets: vec![vec![INVALID; config.ways as usize]; sets],
+            config,
+            next_stamp: 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (not contents) — used at warm-up boundaries.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.as_u64() & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.as_u64() >> self.set_mask.count_ones()
+    }
+
+    /// Performs a demand access: updates LRU, statistics, and the
+    /// prefetched bit, and returns the latency class.
+    pub fn access(&mut self, line: LineAddr, now: Cycle) -> AccessResult {
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        let stamp = self.bump_stamp();
+        let hit_latency = self.config.hit_latency;
+        let set = &mut self.sets[si];
+        for way in set.iter_mut() {
+            if way.valid && way.tag == tag {
+                way.stamp = stamp;
+                if way.prefetched {
+                    way.prefetched = false;
+                    self.stats.prefetch_useful += 1;
+                }
+                return if way.ready.is_after(now) {
+                    let remaining = (way.ready - now).max(hit_latency);
+                    self.stats.partial_hits += 1;
+                    AccessResult::PartialHit(remaining)
+                } else {
+                    self.stats.hits += 1;
+                    AccessResult::Hit(hit_latency)
+                };
+            }
+        }
+        self.stats.misses += 1;
+        AccessResult::Miss
+    }
+
+    /// Checks for residency without disturbing LRU state, statistics, or
+    /// the prefetched bit. Used by prefetch-redundancy checks and by the
+    /// ESP bypass path, which must not pollute demand state (§3.4).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        self.sets[si].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Inserts `line`, evicting the LRU way if the set is full. `ready` is
+    /// the cycle at which the fill data arrives; `prefetched` marks
+    /// prefetcher-initiated fills.
+    ///
+    /// Filling an already-resident line refreshes its LRU stamp and only
+    /// moves `ready` *earlier* (a demand fill can expedite a lazy prefetch,
+    /// never delay an earlier fill).
+    pub fn fill(&mut self, line: LineAddr, _now: Cycle, ready: Cycle, prefetched: bool) {
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        let stamp = self.bump_stamp();
+        let set = &mut self.sets[si];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.stamp = stamp;
+            if ready < way.ready {
+                way.ready = ready;
+            }
+            return;
+        }
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("cache sets are never empty");
+        *victim = Line { tag, valid: true, ready, prefetched, stamp };
+    }
+
+    /// Drops `line` if resident. Returns whether it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        for way in self.sets[si].iter_mut() {
+            if way.valid && way.tag == tag {
+                *way = INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Empties the cache (contents only; statistics are preserved).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.fill(INVALID);
+        }
+    }
+
+    /// The number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        SetAssocCache::new(CacheConfig {
+            name: "tiny".into(),
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 2,
+        })
+    }
+
+    /// Lines that all map to set 0 of the tiny cache.
+    fn set0(n: u64) -> LineAddr {
+        LineAddr::new(n * 2)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        let l = set0(1);
+        assert_eq!(c.access(l, Cycle::ZERO), AccessResult::Miss);
+        c.fill(l, Cycle::ZERO, Cycle::ZERO, false);
+        assert_eq!(c.access(l, Cycle::new(5)), AccessResult::Hit(2));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        let (a, b, d) = (set0(1), set0(2), set0(3));
+        c.fill(a, Cycle::ZERO, Cycle::ZERO, false);
+        c.fill(b, Cycle::ZERO, Cycle::ZERO, false);
+        // Touch a so b becomes LRU.
+        assert!(c.access(a, Cycle::new(1)).is_hit());
+        c.fill(d, Cycle::ZERO, Cycle::ZERO, false);
+        assert!(c.probe(a), "MRU line survived");
+        assert!(!c.probe(b), "LRU line evicted");
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn partial_hit_charges_remaining_latency() {
+        let mut c = tiny();
+        let l = set0(1);
+        c.fill(l, Cycle::new(0), Cycle::new(100), false);
+        assert_eq!(c.access(l, Cycle::new(40)), AccessResult::PartialHit(60));
+        assert_eq!(c.stats().partial_hits, 1);
+        // After completion it is a plain hit.
+        assert_eq!(c.access(l, Cycle::new(100)), AccessResult::Hit(2));
+    }
+
+    #[test]
+    fn partial_hit_is_at_least_hit_latency() {
+        let mut c = tiny();
+        let l = set0(1);
+        c.fill(l, Cycle::new(0), Cycle::new(10), false);
+        assert_eq!(c.access(l, Cycle::new(9)), AccessResult::PartialHit(2));
+    }
+
+    #[test]
+    fn refill_only_moves_ready_earlier() {
+        let mut c = tiny();
+        let l = set0(1);
+        c.fill(l, Cycle::ZERO, Cycle::new(50), false);
+        c.fill(l, Cycle::ZERO, Cycle::new(200), false);
+        assert_eq!(c.access(l, Cycle::new(60)), AccessResult::Hit(2));
+        c.fill(l, Cycle::ZERO, Cycle::new(30), false);
+        // Demoting ready below an elapsed point changes nothing further.
+        assert_eq!(c.access(l, Cycle::new(60)), AccessResult::Hit(2));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        let (a, b, d) = (set0(1), set0(2), set0(3));
+        c.fill(a, Cycle::ZERO, Cycle::ZERO, false);
+        c.fill(b, Cycle::ZERO, Cycle::ZERO, false);
+        // Probing a must NOT refresh it; a is LRU and should be evicted.
+        assert!(c.probe(a));
+        c.fill(d, Cycle::ZERO, Cycle::ZERO, false);
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+    }
+
+    #[test]
+    fn prefetch_accounting() {
+        let mut c = tiny();
+        let l = set0(1);
+        c.fill(l, Cycle::ZERO, Cycle::ZERO, true);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.access(l, Cycle::new(1)).is_hit());
+        assert_eq!(c.stats().prefetch_useful, 1);
+        // Second touch does not double-count.
+        assert!(c.access(l, Cycle::new(2)).is_hit());
+        assert_eq!(c.stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = tiny();
+        let l = set0(1);
+        c.fill(l, Cycle::ZERO, Cycle::ZERO, false);
+        assert!(c.invalidate(l));
+        assert!(!c.invalidate(l));
+        assert!(!c.probe(l));
+        c.fill(l, Cycle::ZERO, Cycle::ZERO, false);
+        c.fill(set0(2), Cycle::ZERO, Cycle::ZERO, false);
+        assert_eq!(c.occupancy(), 2);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        // Lines 0..4 cover both sets twice; all four fit.
+        for i in 0..4 {
+            c.fill(LineAddr::new(i), Cycle::ZERO, Cycle::ZERO, false);
+        }
+        assert_eq!(c.occupancy(), 4);
+        for i in 0..4 {
+            assert!(c.probe(LineAddr::new(i)));
+        }
+    }
+
+    #[test]
+    fn access_result_helpers() {
+        assert_eq!(AccessResult::Hit(2).hit_latency(), Some(2));
+        assert_eq!(AccessResult::PartialHit(60).hit_latency(), Some(60));
+        assert_eq!(AccessResult::Miss.hit_latency(), None);
+        assert!(AccessResult::Hit(2).is_hit());
+        assert!(!AccessResult::Miss.is_hit());
+    }
+}

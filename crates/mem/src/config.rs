@@ -1,0 +1,229 @@
+//! Cache and hierarchy geometry.
+
+use esp_types::{Error, Result};
+
+/// Geometry and latency of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use esp_mem::CacheConfig;
+///
+/// let l1 = CacheConfig::l1_32k("L1-I");
+/// assert_eq!(l1.sets(), 256);
+/// assert_eq!(l1.lines(), 512);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in reports ("L1-I", "L2", …).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles when the line is resident.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 32 KB, 2-way, 64 B lines, 2-cycle hit.
+    pub fn l1_32k(name: &str) -> Self {
+        CacheConfig {
+            name: name.to_string(),
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 2,
+        }
+    }
+
+    /// The paper's L2 configuration: 2 MB, 16-way, 64 B lines, 21-cycle hit.
+    pub fn l2_2m() -> Self {
+        CacheConfig {
+            name: "L2".to_string(),
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+            hit_latency: 21,
+        }
+    }
+
+    /// The ESP-1 cachelet: 5.5 KB of a 12-way structure (11 ways × 8 sets),
+    /// 2-cycle hit (Fig. 8).
+    pub fn cachelet_esp1(name: &str) -> Self {
+        CacheConfig {
+            name: name.to_string(),
+            size_bytes: 11 * 8 * 64,
+            ways: 11,
+            line_bytes: 64,
+            hit_latency: 2,
+        }
+    }
+
+    /// The number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.ways as u64)
+    }
+
+    /// The total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any field is zero, the line size
+    /// is not a power of two, or the capacity is not an exact multiple of
+    /// `ways * line_bytes` sets (with a power-of-two set count).
+    pub fn validate(&self) -> Result<()> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err(Error::invalid_config(format!(
+                "{}: zero-sized field in cache config",
+                self.name
+            )));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(Error::invalid_config(format!(
+                "{}: line size {} is not a power of two",
+                self.name, self.line_bytes
+            )));
+        }
+        let denom = self.line_bytes * self.ways as u64;
+        if self.size_bytes % denom != 0 {
+            return Err(Error::invalid_config(format!(
+                "{}: size {} is not a multiple of ways*line ({})",
+                self.name, self.size_bytes, denom
+            )));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(Error::invalid_config(format!(
+                "{}: set count {} is not a power of two",
+                self.name,
+                self.sets()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the full demand hierarchy (Fig. 7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 (the last-level cache).
+    pub l2: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub mem_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// The baseline machine of the paper, modelled on Samsung's Exynos 5250.
+    pub fn exynos5250() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::l1_32k("L1-I"),
+            l1d: CacheConfig::l1_32k("L1-D"),
+            l2: CacheConfig::l2_2m(),
+            mem_latency: 101,
+        }
+    }
+
+    /// Validates all levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first level's [`Error::InvalidConfig`], or one for a
+    /// zero memory latency or mismatched line sizes between levels.
+    pub fn validate(&self) -> Result<()> {
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if self.mem_latency == 0 {
+            return Err(Error::invalid_config("memory latency must be positive"));
+        }
+        if self.l1i.line_bytes != self.l2.line_bytes || self.l1d.line_bytes != self.l2.line_bytes {
+            return Err(Error::invalid_config(
+                "all cache levels must share one line size",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::exynos5250()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        let l1 = CacheConfig::l1_32k("L1-I");
+        assert_eq!(l1.sets(), 256);
+        assert_eq!(l1.lines(), 512);
+        l1.validate().unwrap();
+
+        let l2 = CacheConfig::l2_2m();
+        assert_eq!(l2.sets(), 2048);
+        assert_eq!(l2.lines(), 32768);
+        l2.validate().unwrap();
+
+        let cl = CacheConfig::cachelet_esp1("I-cachelet");
+        assert_eq!(cl.sets(), 8);
+        assert_eq!(cl.lines(), 88);
+        assert_eq!(cl.size_bytes, 5632); // 5.5 KB
+        cl.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        let mut c = CacheConfig::l1_32k("x");
+        c.line_bytes = 60;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::l1_32k("x");
+        c.ways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::l1_32k("x");
+        c.size_bytes = 3000;
+        assert!(c.validate().is_err());
+
+        // 3 sets: multiple of ways*line but not a power of two.
+        let c = CacheConfig {
+            name: "x".into(),
+            size_bytes: 3 * 2 * 64,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hierarchy_validation() {
+        HierarchyConfig::exynos5250().validate().unwrap();
+        let mut h = HierarchyConfig::exynos5250();
+        h.mem_latency = 0;
+        assert!(h.validate().is_err());
+        let mut h = HierarchyConfig::exynos5250();
+        h.l1d.line_bytes = 128;
+        h.l1d.size_bytes = 32 * 1024;
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_exynos() {
+        assert_eq!(HierarchyConfig::default(), HierarchyConfig::exynos5250());
+    }
+}

@@ -1,0 +1,372 @@
+//! The three-level demand hierarchy.
+
+use crate::{AccessResult, HierarchyConfig, SetAssocCache};
+use esp_types::{Cycle, LineAddr};
+
+/// Which level of the hierarchy served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Served by the L1 (instruction or data).
+    L1,
+    /// Served by the unified L2 (the last-level cache).
+    L2,
+    /// Served by DRAM — an LLC miss.
+    Memory,
+}
+
+/// The result of one demand access through the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServedAccess {
+    /// Total latency in cycles, as seen by the requesting instruction.
+    pub latency: u64,
+    /// The level that provided the line.
+    pub level: MemLevel,
+    /// True when the access missed the last-level cache — the trigger
+    /// condition for both runahead and ESP mode entry.
+    pub llc_miss: bool,
+    /// True when the L1 lookup itself missed (full miss or in-flight
+    /// partial hit) — what L1 MPKI counts.
+    pub l1_miss: bool,
+}
+
+/// The L1-I/L1-D/L2/DRAM demand path, with prefetch entry points.
+///
+/// Fills performed on behalf of demand accesses complete `latency` cycles
+/// after the access; prefetch fills complete after the latency of the level
+/// the line was found in. Either way, an access that arrives before the
+/// fill completes is charged only the remaining latency (see
+/// [`SetAssocCache`]).
+///
+/// # Examples
+///
+/// ```
+/// use esp_mem::{HierarchyConfig, MemLevel, MemoryHierarchy};
+/// use esp_types::{Addr, Cycle};
+///
+/// let mut mem = MemoryHierarchy::new(HierarchyConfig::exynos5250());
+/// let line = Addr::new(0x8000).line(64);
+/// let r = mem.access_instr(line, Cycle::ZERO);
+/// assert_eq!(r.level, MemLevel::Memory);
+/// let r = mem.access_instr(line, Cycle::new(1000));
+/// assert_eq!(r.level, MemLevel::L1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    mem_latency: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`HierarchyConfig::validate`].
+    pub fn new(config: HierarchyConfig) -> Self {
+        config.validate().expect("invalid hierarchy configuration");
+        MemoryHierarchy {
+            l1i: SetAssocCache::new(config.l1i),
+            l1d: SetAssocCache::new(config.l1d),
+            l2: SetAssocCache::new(config.l2),
+            mem_latency: config.mem_latency,
+        }
+    }
+
+    /// The instruction L1.
+    pub fn l1i(&self) -> &SetAssocCache {
+        &self.l1i
+    }
+
+    /// The data L1.
+    pub fn l1d(&self) -> &SetAssocCache {
+        &self.l1d
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+
+    /// The DRAM access latency in cycles.
+    pub fn mem_latency(&self) -> u64 {
+        self.mem_latency
+    }
+
+    /// Resets all statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+    }
+
+    fn access_via(
+        l1: &mut SetAssocCache,
+        l2: &mut SetAssocCache,
+        mem_latency: u64,
+        line: LineAddr,
+        now: Cycle,
+    ) -> ServedAccess {
+        match l1.access(line, now) {
+            AccessResult::Hit(lat) => ServedAccess {
+                latency: lat,
+                level: MemLevel::L1,
+                llc_miss: false,
+                l1_miss: false,
+            },
+            AccessResult::PartialHit(lat) => ServedAccess {
+                latency: lat,
+                level: MemLevel::L1,
+                llc_miss: false,
+                l1_miss: true,
+            },
+            AccessResult::Miss => {
+                let l1_hit = l1.config().hit_latency;
+                match l2.access(line, now) {
+                    AccessResult::Hit(l2_lat) => {
+                        let latency = l1_hit + l2_lat;
+                        l1.fill(line, now, now + latency, false);
+                        ServedAccess {
+                            latency,
+                            level: MemLevel::L2,
+                            llc_miss: false,
+                            l1_miss: true,
+                        }
+                    }
+                    AccessResult::PartialHit(rem) => {
+                        let latency = l1_hit + rem;
+                        l1.fill(line, now, now + latency, false);
+                        ServedAccess {
+                            latency,
+                            level: MemLevel::L2,
+                            llc_miss: false,
+                            l1_miss: true,
+                        }
+                    }
+                    AccessResult::Miss => {
+                        let latency = mem_latency;
+                        l2.fill(line, now, now + latency, false);
+                        l1.fill(line, now, now + latency, false);
+                        ServedAccess {
+                            latency,
+                            level: MemLevel::Memory,
+                            llc_miss: true,
+                            l1_miss: true,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A demand instruction fetch of `line` at time `now`.
+    pub fn access_instr(&mut self, line: LineAddr, now: Cycle) -> ServedAccess {
+        Self::access_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now)
+    }
+
+    /// A demand data access of `line` at time `now`. Stores and loads are
+    /// timed identically here (write-allocate); the core model decides how
+    /// much of the latency a store exposes.
+    pub fn access_data(&mut self, line: LineAddr, now: Cycle, _is_store: bool) -> ServedAccess {
+        Self::access_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now)
+    }
+
+    fn prefetch_via(
+        l1: &mut SetAssocCache,
+        l2: &mut SetAssocCache,
+        mem_latency: u64,
+        line: LineAddr,
+        now: Cycle,
+        into_l1: bool,
+    ) -> bool {
+        let in_l1 = l1.probe(line);
+        if in_l1 && into_l1 {
+            return false;
+        }
+        let in_l2 = l2.probe(line);
+        let latency = if in_l1 || in_l2 {
+            l2.config().hit_latency
+        } else {
+            mem_latency
+        };
+        let ready = now + latency;
+        if !in_l2 {
+            l2.fill(line, now, ready, true);
+        }
+        if into_l1 && !in_l1 {
+            l1.fill(line, now, ready, true);
+        }
+        true
+    }
+
+    /// Prefetches `line` toward the instruction side. When `into_l1` the
+    /// line is installed in both L1-I and L2, otherwise only in L2.
+    /// Returns `false` when the request was redundant.
+    pub fn prefetch_instr(&mut self, line: LineAddr, now: Cycle, into_l1: bool) -> bool {
+        Self::prefetch_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now, into_l1)
+    }
+
+    /// Prefetches `line` toward the data side (see [`Self::prefetch_instr`]).
+    pub fn prefetch_data(&mut self, line: LineAddr, now: Cycle, into_l1: bool) -> bool {
+        Self::prefetch_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now, into_l1)
+    }
+
+    /// An idealised prefetch that completes instantly (used by the "ideal
+    /// ESP" configurations of Figs. 11a/11b, which assume perfectly
+    /// timely prefetches).
+    pub fn prefetch_instr_instant(&mut self, line: LineAddr, now: Cycle) {
+        self.l2.fill(line, now, now, true);
+        self.l1i.fill(line, now, now, true);
+    }
+
+    /// Data-side twin of [`Self::prefetch_instr_instant`].
+    pub fn prefetch_data_instant(&mut self, line: LineAddr, now: Cycle) {
+        self.l2.fill(line, now, now, true);
+        self.l1d.fill(line, now, now, true);
+    }
+
+    /// The latency an ESP-mode access bypassing the L1s would see: an L2
+    /// probe decides between the L2 and DRAM latencies. The probe is
+    /// non-updating and nothing is filled — the caller installs the line in
+    /// its cachelet (§3.4: "bypasses the caches and is brought directly
+    /// into the corresponding D-cachelet").
+    ///
+    /// Returns `(latency, llc_miss)`.
+    pub fn bypass_latency(&self, line: LineAddr) -> (u64, bool) {
+        if self.l2.probe(line) {
+            (self.l2.config().hit_latency, false)
+        } else {
+            (self.mem_latency, true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::exynos5250())
+    }
+
+    #[test]
+    fn cold_miss_walks_to_memory_and_fills() {
+        let mut m = mem();
+        let l = LineAddr::new(1000);
+        let r = m.access_instr(l, Cycle::ZERO);
+        assert_eq!(r.level, MemLevel::Memory);
+        assert!(r.llc_miss);
+        assert!(r.l1_miss);
+        assert_eq!(r.latency, 101);
+        // Immediately after, the line is in flight: partial hit.
+        let r2 = m.access_instr(l, Cycle::new(50));
+        assert_eq!(r2.level, MemLevel::L1);
+        assert!(!r2.llc_miss);
+        assert!(r2.l1_miss, "in-flight partial hit counts as an L1 miss");
+        assert_eq!(r2.latency, 51);
+        // Once complete, a plain hit.
+        let r3 = m.access_instr(l, Cycle::new(200));
+        assert!(!r3.l1_miss);
+        assert_eq!(r3.latency, 2);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = mem();
+        // Fill a line, then evict it from L1 by filling its set with
+        // conflicting lines (L1 is 2-way, 256 sets → stride 256 lines).
+        let l = LineAddr::new(7);
+        m.access_data(l, Cycle::ZERO, false);
+        m.access_data(LineAddr::new(7 + 256), Cycle::new(200), false);
+        m.access_data(LineAddr::new(7 + 512), Cycle::new(400), false);
+        let r = m.access_data(l, Cycle::new(4000), false);
+        assert_eq!(r.level, MemLevel::L2);
+        assert!(!r.llc_miss);
+        assert!(r.l1_miss);
+        assert_eq!(r.latency, 2 + 21);
+    }
+
+    #[test]
+    fn instr_and_data_l1_are_separate_but_share_l2() {
+        let mut m = mem();
+        let l = LineAddr::new(42);
+        m.access_data(l, Cycle::ZERO, false);
+        // Same line on the instruction side: misses L1-I, hits shared L2.
+        let r = m.access_instr(l, Cycle::new(1000), );
+        assert_eq!(r.level, MemLevel::L2);
+    }
+
+    #[test]
+    fn prefetch_timeliness() {
+        let mut m = mem();
+        let l = LineAddr::new(9_999);
+        assert!(m.prefetch_data(l, Cycle::ZERO, true));
+        // Demand access at cycle 101 or later: full hit.
+        let r = m.access_data(l, Cycle::new(101), false);
+        assert!(!r.l1_miss);
+        // A second prefetch to the same line is redundant.
+        assert!(!m.prefetch_data(l, Cycle::new(200), true));
+    }
+
+    #[test]
+    fn late_prefetch_gives_partial_hit() {
+        let mut m = mem();
+        let l = LineAddr::new(5_000);
+        m.prefetch_instr(l, Cycle::ZERO, true);
+        let r = m.access_instr(l, Cycle::new(20));
+        assert!(r.l1_miss);
+        assert_eq!(r.latency, 81);
+        assert_eq!(r.level, MemLevel::L1);
+    }
+
+    #[test]
+    fn l2_only_prefetch_leaves_l1_cold() {
+        let mut m = mem();
+        let l = LineAddr::new(123);
+        m.prefetch_instr(l, Cycle::ZERO, false);
+        let r = m.access_instr(l, Cycle::new(500));
+        assert_eq!(r.level, MemLevel::L2);
+        assert!(!r.llc_miss);
+    }
+
+    #[test]
+    fn prefetch_from_l2_is_fast() {
+        let mut m = mem();
+        let l = LineAddr::new(321);
+        // Bring into L2 via a demand access, evict from L1.
+        m.access_data(l, Cycle::ZERO, false);
+        m.access_data(LineAddr::new(321 + 256), Cycle::new(200), false);
+        m.access_data(LineAddr::new(321 + 512), Cycle::new(400), false);
+        assert!(!m.l1d().probe(l));
+        // Prefetch back into L1: source is L2, so ready after 21 cycles.
+        m.prefetch_data(l, Cycle::new(1000), true);
+        let r = m.access_data(l, Cycle::new(1021), false);
+        assert!(!r.l1_miss);
+    }
+
+    #[test]
+    fn bypass_latency_probes_without_filling() {
+        let mut m = mem();
+        let l = LineAddr::new(777);
+        assert_eq!(m.bypass_latency(l), (101, true));
+        m.access_data(l, Cycle::ZERO, false);
+        assert_eq!(m.bypass_latency(l), (21, false));
+        // The probe must not have filled anything new.
+        let occupancy = m.l2().occupancy();
+        m.bypass_latency(LineAddr::new(888));
+        assert_eq!(m.l2().occupancy(), occupancy);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut m = mem();
+        m.access_instr(LineAddr::new(1), Cycle::ZERO);
+        assert!(m.l1i().stats().accesses() > 0);
+        m.reset_stats();
+        assert_eq!(m.l1i().stats().accesses(), 0);
+        assert_eq!(m.l2().stats().accesses(), 0);
+        // Contents survive.
+        assert!(m.l1i().probe(LineAddr::new(1)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Raw event counters for the structural models.
+
+/// Access counters for one cache (or cachelet) instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit a resident line.
+    pub hits: u64,
+    /// Demand accesses that missed entirely.
+    pub misses: u64,
+    /// Demand accesses that hit a fill still in flight (charged the
+    /// remaining latency, not the full miss).
+    pub partial_hits: u64,
+    /// Lines filled on behalf of a prefetcher.
+    pub prefetch_fills: u64,
+    /// Prefetched lines that were touched by a demand access before
+    /// eviction.
+    pub prefetch_useful: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses + self.partial_hits
+    }
+
+    /// Records a demand access outcome; `hit` covers full hits only.
+    pub fn record_access(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Demand miss rate in percent (partial hits count as hits, matching
+    /// the paper's miss-rate definition of avoided full misses).
+    pub fn miss_rate_pct(&self) -> f64 {
+        crate::percent(self.misses, self.accesses())
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.partial_hits += other.partial_hits;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_useful += other.prefetch_useful;
+    }
+}
+
+/// Outcome counters for the branch predictor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Dynamic branches whose direction *and* target were predicted.
+    pub correct: u64,
+    /// Dynamic branches mispredicted (direction or target).
+    pub mispredicted: u64,
+}
+
+impl BranchStats {
+    /// Total predicted branches.
+    pub fn total(&self) -> u64 {
+        self.correct + self.mispredicted
+    }
+
+    /// Records one prediction outcome.
+    pub fn record(&mut self, correct: bool) {
+        if correct {
+            self.correct += 1;
+        } else {
+            self.mispredicted += 1;
+        }
+    }
+
+    /// Misprediction rate in percent.
+    pub fn mispredict_rate_pct(&self) -> f64 {
+        crate::percent(self.mispredicted, self.total())
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &BranchStats) {
+        self.correct += other.correct;
+        self.mispredicted += other.mispredicted;
+    }
+}
+
+/// Issue counters for one prefetcher instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch requests issued.
+    pub issued: u64,
+    /// Requests dropped because the line was already resident or in
+    /// flight.
+    pub redundant: u64,
+}
+
+impl PrefetchStats {
+    /// Records an issue attempt.
+    pub fn record(&mut self, redundant: bool) {
+        self.issued += 1;
+        if redundant {
+            self.redundant += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_accounting() {
+        let mut s = CacheStats::default();
+        for _ in 0..3 {
+            s.record_access(true);
+        }
+        s.record_access(false);
+        s.partial_hits += 1;
+        assert_eq!(s.accesses(), 5);
+        assert!((s.miss_rate_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_stats_merge() {
+        let mut a = CacheStats { hits: 1, misses: 2, partial_hits: 3, prefetch_fills: 4, prefetch_useful: 5 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.prefetch_useful, 10);
+    }
+
+    #[test]
+    fn branch_stats() {
+        let mut s = BranchStats::default();
+        for _ in 0..9 {
+            s.record(true);
+        }
+        s.record(false);
+        assert_eq!(s.total(), 10);
+        assert!((s.mispredict_rate_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_stats() {
+        let mut s = PrefetchStats::default();
+        s.record(false);
+        s.record(true);
+        assert_eq!(s.issued, 2);
+        assert_eq!(s.redundant, 1);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        assert_eq!(CacheStats::default().miss_rate_pct(), 0.0);
+        assert_eq!(BranchStats::default().mispredict_rate_pct(), 0.0);
+    }
+}

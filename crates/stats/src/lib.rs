@@ -1,0 +1,32 @@
+//! Counters, derived metrics, and report tables for the ESP simulator.
+//!
+//! Every structural model in the workspace (caches, predictors, the core)
+//! exposes its raw event counts through the small counter structs here;
+//! derived metrics (MPKI, miss rates, IPC, improvement percentages,
+//! harmonic means) are computed in one place so every figure reports them
+//! identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_stats::{mpki, percent, CacheStats};
+//!
+//! let mut s = CacheStats::default();
+//! s.record_access(false);
+//! s.record_access(true);
+//! assert_eq!(s.accesses(), 2);
+//! assert_eq!(s.misses, 1);
+//! assert_eq!(mpki(s.misses, 1000), 1.0);
+//! assert_eq!(percent(1, 2), 50.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod metrics;
+mod table;
+
+pub use counters::{BranchStats, CacheStats, PrefetchStats};
+pub use metrics::{harmonic_mean_improvement, improvement_pct, mpki, percent, rate};
+pub use table::Table;

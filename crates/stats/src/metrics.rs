@@ -1,0 +1,121 @@
+//! Derived metrics shared by every figure.
+
+/// Misses per kilo-instruction.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(esp_stats::mpki(50, 10_000), 5.0);
+/// ```
+pub fn mpki(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+/// `num / den` as a percentage; 0 when the denominator is 0.
+pub fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 * 100.0 / den as f64
+    }
+}
+
+/// `num / den` as a plain ratio; 0 when the denominator is 0.
+pub fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Performance improvement of `test` over `base`, in percent, where the
+/// inputs are cycle counts (lower is better):
+/// `(base_cycles / test_cycles - 1) * 100`.
+///
+/// # Examples
+///
+/// ```
+/// // A run that takes 80 cycles instead of 100 is 25 % faster.
+/// assert_eq!(esp_stats::improvement_pct(100, 80), 25.0);
+/// ```
+pub fn improvement_pct(base_cycles: u64, test_cycles: u64) -> f64 {
+    if test_cycles == 0 {
+        0.0
+    } else {
+        (base_cycles as f64 / test_cycles as f64 - 1.0) * 100.0
+    }
+}
+
+/// The harmonic mean of a set of per-benchmark improvement percentages,
+/// computed over the corresponding speedups — the aggregation the paper's
+/// "HMean" bars use.
+///
+/// Each improvement `p` (in percent) corresponds to a speedup `1 + p/100`;
+/// the function returns the improvement implied by the harmonic mean of
+/// those speedups. Negative improvements are handled naturally.
+///
+/// # Examples
+///
+/// ```
+/// let h = esp_stats::harmonic_mean_improvement(&[10.0, 10.0]);
+/// assert!((h - 10.0).abs() < 1e-9);
+/// ```
+pub fn harmonic_mean_improvement(improvements_pct: &[f64]) -> f64 {
+    if improvements_pct.is_empty() {
+        return 0.0;
+    }
+    let inv_sum: f64 = improvements_pct
+        .iter()
+        .map(|p| 1.0 / (1.0 + p / 100.0))
+        .sum();
+    let hmean_speedup = improvements_pct.len() as f64 / inv_sum;
+    (hmean_speedup - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_basics() {
+        assert_eq!(mpki(0, 1000), 0.0);
+        assert_eq!(mpki(10, 0), 0.0);
+        assert!((mpki(175, 10_000) - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_and_rate() {
+        assert_eq!(percent(1, 4), 25.0);
+        assert_eq!(percent(1, 0), 0.0);
+        assert_eq!(rate(3, 4), 0.75);
+        assert_eq!(rate(3, 0), 0.0);
+    }
+
+    #[test]
+    fn improvement() {
+        assert_eq!(improvement_pct(100, 100), 0.0);
+        assert!((improvement_pct(132, 100) - 32.0).abs() < 1e-9);
+        assert!(improvement_pct(90, 100) < 0.0);
+        assert_eq!(improvement_pct(100, 0), 0.0);
+    }
+
+    #[test]
+    fn hmean_between_min_and_max() {
+        let h = harmonic_mean_improvement(&[10.0, 20.0, 30.0]);
+        assert!(h > 10.0 && h < 30.0);
+        // Harmonic mean is below the arithmetic mean.
+        assert!(h < 20.0);
+    }
+
+    #[test]
+    fn hmean_handles_negatives_and_empty() {
+        assert_eq!(harmonic_mean_improvement(&[]), 0.0);
+        let h = harmonic_mean_improvement(&[-5.0, 5.0]);
+        assert!(h.abs() < 1.0, "h={h}");
+    }
+}

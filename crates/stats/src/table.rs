@@ -1,0 +1,148 @@
+//! Plain-text report tables.
+
+use std::fmt;
+
+/// A simple column-aligned text table, used by the `repro` harness to print
+/// each figure in the same rows/series layout as the paper.
+///
+/// # Examples
+///
+/// ```
+/// use esp_stats::Table;
+///
+/// let mut t = Table::new(vec!["config".into(), "amazon".into(), "HMean".into()]);
+/// t.push_row(vec!["NL".into(), "13.2".into(), "13.8".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("config"));
+/// assert!(s.contains("13.8"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_headers(headers: &[&str]) -> Self {
+        Table::new(headers.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a row of a label followed by formatted floats.
+    pub fn push_metric_row(&mut self, label: &str, values: &[f64], decimals: usize) {
+        let mut row = vec![label.to_string()];
+        row.extend(values.iter().map(|v| format!("{v:.decimals$}")));
+        self.push_row(row);
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The header row.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > w[i] {
+                    w[i] = cell.len();
+                }
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<width$}", cell, width = w[i])?;
+                } else {
+                    write!(f, "  {:>width$}", cell, width = w[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_content() {
+        let mut t = Table::with_headers(&["name", "v"]);
+        t.push_row(vec!["a-long-label".into(), "1".into()]);
+        t.push_metric_row("b", &[2.125], 2);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a-long-label"));
+        assert!(lines[3].contains("2.13") || lines[3].contains("2.12"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::with_headers(&["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Table::with_headers(&["x"]);
+        assert_eq!(t.headers(), &["x".to_string()]);
+        assert!(t.rows().is_empty());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Trace serialization: record an event's instruction stream to a
+//! writer, and replay it later from a reader.
+//!
+//! The paper's methodology is trace driven (§5): traces are captured
+//! once, then simulated under many configurations. The generator in
+//! `esp-workload` makes stored traces unnecessary for the built-in
+//! benchmarks (streams regenerate from seeds), but the codec lets users
+//! capture *external* traces — or dump generated ones for inspection —
+//! in a simple line-oriented text format:
+//!
+//! ```text
+//! A <pc>                    # alu
+//! L <pc> <addr> <0|1>       # load (flag: address chains a recent load)
+//! S <pc> <addr>             # store
+//! B <pc> <0|1> <target>     # conditional branch (taken flag)
+//! J <pc> <target>           # indirect branch
+//! X <pc> <target>           # indirect call
+//! C <pc> <target>           # direct call
+//! R <pc> <target>           # return
+//! ```
+//!
+//! All values are lower-case hex without a `0x` prefix. Lines starting
+//! with `#` and blank lines are ignored.
+
+use crate::{EventStream, Instr, InstrKind, VecEventStream};
+use esp_types::Addr;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors produced while decoding a trace.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// A line did not parse; the payload is (line number, content).
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "trace i/o error: {e}"),
+            CodecError::Malformed(n, line) => write!(f, "malformed trace line {n}: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Encodes one instruction as its trace line (without the newline).
+pub fn encode_instr(i: &Instr) -> String {
+    let pc = i.pc.as_u64();
+    match i.kind {
+        InstrKind::Alu => format!("A {pc:x}"),
+        InstrKind::Load { addr, chained } => {
+            format!("L {pc:x} {:x} {}", addr.as_u64(), chained as u8)
+        }
+        InstrKind::Store { addr } => format!("S {pc:x} {:x}", addr.as_u64()),
+        InstrKind::CondBranch { taken, target } => {
+            format!("B {pc:x} {} {:x}", taken as u8, target.as_u64())
+        }
+        InstrKind::IndirectBranch { target } => format!("J {pc:x} {:x}", target.as_u64()),
+        InstrKind::IndirectCall { target } => format!("X {pc:x} {:x}", target.as_u64()),
+        InstrKind::Call { target } => format!("C {pc:x} {:x}", target.as_u64()),
+        InstrKind::Return { target } => format!("R {pc:x} {:x}", target.as_u64()),
+    }
+}
+
+/// Decodes one trace line (no surrounding whitespace handling beyond
+/// token splitting). Returns `None` for comments and blank lines.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Malformed`] (with `line_no`) for anything else
+/// that does not parse.
+pub fn decode_instr(line: &str, line_no: usize) -> Result<Option<Instr>, CodecError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let bad = || CodecError::Malformed(line_no, line.to_string());
+    let mut parts = line.split_ascii_whitespace();
+    let op = parts.next().ok_or_else(bad)?;
+    let hex = |p: &mut std::str::SplitAsciiWhitespace<'_>| -> Result<u64, CodecError> {
+        u64::from_str_radix(p.next().ok_or_else(bad)?, 16).map_err(|_| bad())
+    };
+    let pc = Addr::new(hex(&mut parts)?);
+    let instr = match op {
+        "A" => Instr::alu(pc),
+        "L" => {
+            let addr = Addr::new(hex(&mut parts)?);
+            let flag = hex(&mut parts)?;
+            if flag > 1 {
+                return Err(bad());
+            }
+            Instr::load(pc, addr, flag == 1)
+        }
+        "S" => Instr::store(pc, Addr::new(hex(&mut parts)?)),
+        "B" => {
+            let taken = hex(&mut parts)?;
+            if taken > 1 {
+                return Err(bad());
+            }
+            Instr::cond_branch(pc, taken == 1, Addr::new(hex(&mut parts)?))
+        }
+        "J" => Instr::indirect(pc, Addr::new(hex(&mut parts)?)),
+        "X" => Instr::indirect_call(pc, Addr::new(hex(&mut parts)?)),
+        "C" => Instr::call(pc, Addr::new(hex(&mut parts)?)),
+        "R" => Instr::ret(pc, Addr::new(hex(&mut parts)?)),
+        _ => return Err(bad()),
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(Some(instr))
+}
+
+/// Drains `stream` (up to `limit` instructions) into `writer`, one line
+/// per instruction. Returns the number written.
+///
+/// A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] when the writer fails.
+pub fn write_stream<W: Write>(
+    stream: &mut dyn EventStream,
+    limit: usize,
+    mut writer: W,
+) -> Result<usize, CodecError> {
+    let mut n = 0;
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        writeln!(writer, "{}", encode_instr(&i))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads a whole trace from `reader` into a replayable
+/// [`VecEventStream`]. A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on reader failure and
+/// [`CodecError::Malformed`] on the first unparsable line.
+pub fn read_stream<R: Read>(reader: R) -> Result<VecEventStream, CodecError> {
+    let mut instrs = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        if let Some(i) = decode_instr(&line?, idx + 1)? {
+            instrs.push(i);
+        }
+    }
+    Ok(VecEventStream::new(instrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record_stream;
+
+    fn sample() -> Vec<Instr> {
+        let a = Addr::new;
+        vec![
+            Instr::alu(a(0x1000)),
+            Instr::load(a(0x1004), a(0x8000_0000), true),
+            Instr::load(a(0x1008), a(0xdead_beef), false),
+            Instr::store(a(0x100c), a(0x7fff_0008)),
+            Instr::cond_branch(a(0x1010), true, a(0x0040_0000)),
+            Instr::cond_branch(a(0x1014), false, a(0x9999_0000)),
+            Instr::indirect(a(0x1018), a(0x1_0000)),
+            Instr::indirect_call(a(0x101c), a(0x2_0000)),
+            Instr::call(a(0x1020), a(0x3_0000)),
+            Instr::ret(a(0x1024), a(0x1028)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let original = sample();
+        let mut buf = Vec::new();
+        let mut s = VecEventStream::new(original.clone());
+        let n = write_stream(&mut s, usize::MAX, &mut buf).unwrap();
+        assert_eq!(n, original.len());
+        let mut replay = read_stream(buf.as_slice()).unwrap();
+        assert_eq!(record_stream(&mut replay, usize::MAX), original);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# a trace\n\nA 10\n  \n# tail\nC 14 8000\n";
+        let mut s = read_stream(text.as_bytes()).unwrap();
+        let got = record_stream(&mut s, usize::MAX);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], Instr::alu(Addr::new(0x10)));
+        assert_eq!(got[1], Instr::call(Addr::new(0x14), Addr::new(0x8000)));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut buf = Vec::new();
+        let mut s = VecEventStream::new(sample());
+        assert_eq!(write_stream(&mut s, 3, &mut buf).unwrap(), 3);
+        let replay = read_stream(buf.as_slice()).unwrap();
+        assert_eq!(replay.remaining().len(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        for (text, bad_line) in [
+            ("A 10\nZ 14\n", 2),
+            ("L 10\n", 1),
+            ("B 10 2 40\n", 1),
+            ("A xyz\n", 1),
+            ("A 10 extra\n", 1),
+            ("L 10 20 5\n", 1),
+        ] {
+            match read_stream(text.as_bytes()) {
+                Err(CodecError::Malformed(n, _)) => assert_eq!(n, bad_line, "{text:?}"),
+                other => panic!("{text:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_stable() {
+        assert_eq!(
+            encode_instr(&Instr::load(Addr::new(0x10), Addr::new(0xff), true)),
+            "L 10 ff 1"
+        );
+        assert_eq!(
+            encode_instr(&Instr::cond_branch(Addr::new(0x10), false, Addr::new(0x20))),
+            "B 10 0 20"
+        );
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = CodecError::Malformed(3, "Z".into());
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,251 @@
+//! One dynamic micro-op.
+
+use esp_types::Addr;
+
+/// The operation class of an [`Instr`], with its resolved operands.
+///
+/// Branch variants carry the *actual* dynamic outcome (taken/target), the
+/// way a post-retirement trace would. The simulator's branch predictor makes
+/// its own prediction and compares against these outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// An arithmetic or logic operation (no memory or control side effects).
+    Alu,
+    /// A load from `addr`.
+    Load {
+        /// The byte address read.
+        addr: Addr,
+        /// Whether the load's *address* depends on a recent in-flight load
+        /// (pointer chasing). Runahead execution cannot pre-execute such
+        /// loads when the producer is the blocking miss, which is the
+        /// paper's "limited by the number of independent instructions"
+        /// critique of runahead (§1).
+        chained: bool,
+    },
+    /// A store to `addr`.
+    Store {
+        /// The byte address written.
+        addr: Addr,
+    },
+    /// A conditional direct branch.
+    CondBranch {
+        /// Whether the branch was actually taken.
+        taken: bool,
+        /// The taken-path target (the fall-through is `pc + 4`).
+        target: Addr,
+    },
+    /// An unconditional indirect branch (e.g. a computed goto); always
+    /// taken, target comes from data.
+    IndirectBranch {
+        /// The actual dynamic target.
+        target: Addr,
+    },
+    /// An indirect call (e.g. a JS method dispatch): like
+    /// [`InstrKind::IndirectBranch`] but pushes `pc + 4` on the return
+    /// stack.
+    IndirectCall {
+        /// The actual dynamic callee.
+        target: Addr,
+    },
+    /// A direct call; always taken, pushes `pc + 4` on the return stack.
+    Call {
+        /// The callee entry point.
+        target: Addr,
+    },
+    /// A return; always taken, target is the matching call's return address.
+    Return {
+        /// The actual return address.
+        target: Addr,
+    },
+}
+
+/// One dynamic instruction: a program counter plus an [`InstrKind`].
+///
+/// Instructions in this model occupy 4 bytes each, so `pc + 4` is the
+/// sequential successor; cache behaviour only depends on the 64-byte line
+/// of `pc`, so the fixed width loses nothing the study measures.
+///
+/// # Examples
+///
+/// ```
+/// use esp_trace::Instr;
+/// use esp_types::Addr;
+///
+/// let i = Instr::cond_branch(Addr::new(0x100), true, Addr::new(0x80));
+/// assert!(i.is_branch());
+/// assert_eq!(i.next_pc(), Addr::new(0x80));
+/// assert_eq!(Instr::alu(Addr::new(0x100)).next_pc(), Addr::new(0x104));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The instruction's address.
+    pub pc: Addr,
+    /// What the instruction does.
+    pub kind: InstrKind,
+}
+
+/// The architectural instruction width in bytes.
+pub(crate) const INSTR_BYTES: u64 = 4;
+
+impl Instr {
+    /// Creates an ALU instruction.
+    pub const fn alu(pc: Addr) -> Self {
+        Instr { pc, kind: InstrKind::Alu }
+    }
+
+    /// Creates a load of `addr`; `chained` marks pointer-chasing loads.
+    pub const fn load(pc: Addr, addr: Addr, chained: bool) -> Self {
+        Instr { pc, kind: InstrKind::Load { addr, chained } }
+    }
+
+    /// Creates a store to `addr`.
+    pub const fn store(pc: Addr, addr: Addr) -> Self {
+        Instr { pc, kind: InstrKind::Store { addr } }
+    }
+
+    /// Creates a conditional branch with its actual outcome.
+    pub const fn cond_branch(pc: Addr, taken: bool, target: Addr) -> Self {
+        Instr { pc, kind: InstrKind::CondBranch { taken, target } }
+    }
+
+    /// Creates an indirect branch with its actual target.
+    pub const fn indirect(pc: Addr, target: Addr) -> Self {
+        Instr { pc, kind: InstrKind::IndirectBranch { target } }
+    }
+
+    /// Creates an indirect call with its actual callee.
+    pub const fn indirect_call(pc: Addr, target: Addr) -> Self {
+        Instr { pc, kind: InstrKind::IndirectCall { target } }
+    }
+
+    /// Creates a direct call.
+    pub const fn call(pc: Addr, target: Addr) -> Self {
+        Instr { pc, kind: InstrKind::Call { target } }
+    }
+
+    /// Creates a return to `target`.
+    pub const fn ret(pc: Addr, target: Addr) -> Self {
+        Instr { pc, kind: InstrKind::Return { target } }
+    }
+
+    /// Returns `true` for any control-flow instruction.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self.kind,
+            InstrKind::CondBranch { .. }
+                | InstrKind::IndirectBranch { .. }
+                | InstrKind::IndirectCall { .. }
+                | InstrKind::Call { .. }
+                | InstrKind::Return { .. }
+        )
+    }
+
+    /// Returns `true` for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, InstrKind::Load { .. } | InstrKind::Store { .. })
+    }
+
+    /// Returns the data address for loads and stores, `None` otherwise.
+    pub fn mem_addr(&self) -> Option<Addr> {
+        match self.kind {
+            InstrKind::Load { addr, .. } | InstrKind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Returns the dynamic next program counter (the address the front end
+    /// must fetch after this instruction retires).
+    pub fn next_pc(&self) -> Addr {
+        match self.kind {
+            InstrKind::Alu | InstrKind::Load { .. } | InstrKind::Store { .. } => {
+                self.pc + INSTR_BYTES
+            }
+            InstrKind::CondBranch { taken, target } => {
+                if taken {
+                    target
+                } else {
+                    self.pc + INSTR_BYTES
+                }
+            }
+            InstrKind::IndirectBranch { target }
+            | InstrKind::IndirectCall { target }
+            | InstrKind::Call { target }
+            | InstrKind::Return { target } => target,
+        }
+    }
+
+    /// Returns whether the branch was taken; `None` for non-branches.
+    pub fn branch_taken(&self) -> Option<bool> {
+        match self.kind {
+            InstrKind::CondBranch { taken, .. } => Some(taken),
+            InstrKind::IndirectBranch { .. }
+            | InstrKind::IndirectCall { .. }
+            | InstrKind::Call { .. }
+            | InstrKind::Return { .. } => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns the taken-path target for branches, `None` otherwise.
+    pub fn branch_target(&self) -> Option<Addr> {
+        match self.kind {
+            InstrKind::CondBranch { target, .. }
+            | InstrKind::IndirectBranch { target }
+            | InstrKind::IndirectCall { target }
+            | InstrKind::Call { target }
+            | InstrKind::Return { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let pc = Addr::new(0x1000);
+        assert!(!Instr::alu(pc).is_branch());
+        assert!(!Instr::alu(pc).is_mem());
+        assert!(Instr::load(pc, Addr::new(8), false).is_mem());
+        assert!(Instr::store(pc, Addr::new(8)).is_mem());
+        assert!(Instr::cond_branch(pc, false, pc).is_branch());
+        assert!(Instr::indirect(pc, pc).is_branch());
+        assert!(Instr::call(pc, pc).is_branch());
+        assert!(Instr::ret(pc, pc).is_branch());
+    }
+
+    #[test]
+    fn next_pc_sequential() {
+        let pc = Addr::new(0x1000);
+        assert_eq!(Instr::alu(pc).next_pc(), Addr::new(0x1004));
+        assert_eq!(Instr::load(pc, Addr::new(8), false).next_pc(), Addr::new(0x1004));
+        assert_eq!(Instr::store(pc, Addr::new(8)).next_pc(), Addr::new(0x1004));
+    }
+
+    #[test]
+    fn next_pc_branches() {
+        let pc = Addr::new(0x1000);
+        let t = Addr::new(0x2000);
+        assert_eq!(Instr::cond_branch(pc, true, t).next_pc(), t);
+        assert_eq!(Instr::cond_branch(pc, false, t).next_pc(), Addr::new(0x1004));
+        assert_eq!(Instr::indirect(pc, t).next_pc(), t);
+        assert_eq!(Instr::call(pc, t).next_pc(), t);
+        assert_eq!(Instr::ret(pc, t).next_pc(), t);
+    }
+
+    #[test]
+    fn branch_outcomes() {
+        let pc = Addr::new(0x10);
+        let t = Addr::new(0x20);
+        assert_eq!(Instr::cond_branch(pc, true, t).branch_taken(), Some(true));
+        assert_eq!(Instr::cond_branch(pc, false, t).branch_taken(), Some(false));
+        assert_eq!(Instr::indirect(pc, t).branch_taken(), Some(true));
+        assert_eq!(Instr::alu(pc).branch_taken(), None);
+        assert_eq!(Instr::cond_branch(pc, false, t).branch_target(), Some(t));
+        assert_eq!(Instr::alu(pc).branch_target(), None);
+        assert_eq!(Instr::load(pc, t, true).mem_addr(), Some(t));
+        assert_eq!(Instr::alu(pc).mem_addr(), None);
+    }
+}

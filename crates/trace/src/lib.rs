@@ -1,0 +1,51 @@
+//! Micro-op and event-trace model for the ESP simulator.
+//!
+//! The ESP study (ISCA 2015) is trace driven: the authors recorded
+//! instruction traces of Chromium's renderer process, one trace per
+//! JavaScript event, plus a second *speculative* trace per event recorded in
+//! a forked-off renderer (the stream an ESP pre-execution would see). This
+//! crate defines the vocabulary those traces are expressed in:
+//!
+//! * [`Instr`] / [`InstrKind`] — one dynamic micro-op: ALU, load, store, or
+//!   one of the branch flavours, with resolved addresses and outcomes.
+//! * [`EventRecord`] — static metadata for one dynamic event: handler entry
+//!   point, argument-object address, posting time, and the
+//!   order-misprediction flag of §4.5 of the paper.
+//! * [`EventStream`] — a resumable cursor over one event's instruction
+//!   stream. Resumability is load-bearing: ESP pre-execution is re-entrant
+//!   (§3.4), so the simulator suspends and resumes these cursors as the
+//!   processor bounces between normal and ESP modes.
+//! * [`Workload`] — a full program: an ordered schedule of events, each of
+//!   which can be opened as an *actual* stream (normal execution) or a
+//!   *speculative* stream (what a pre-execution would observe, which may
+//!   diverge).
+//! * [`VecEventStream`] / [`record_stream`] — in-memory trace replay and
+//!   capture, used heavily by tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_trace::{Instr, EventStream, VecEventStream};
+//! use esp_types::Addr;
+//!
+//! let trace = vec![
+//!     Instr::alu(Addr::new(0x100)),
+//!     Instr::load(Addr::new(0x104), Addr::new(0x8000), false),
+//!     Instr::cond_branch(Addr::new(0x108), true, Addr::new(0x100)),
+//! ];
+//! let mut s = VecEventStream::new(trace);
+//! assert!(s.next_instr().is_some());
+//! assert_eq!(s.executed(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod instr;
+mod record;
+mod stream;
+
+pub use instr::{Instr, InstrKind};
+pub use record::EventRecord;
+pub use stream::{record_stream, EventStream, VecEventStream, Workload};

@@ -1,0 +1,75 @@
+//! Static metadata for one dynamic event.
+
+use esp_types::{Addr, Cycle, EventId, EventKindId};
+
+/// Metadata for one dynamic event in a workload schedule.
+///
+/// This is the information the *software* event queue holds about a pending
+/// event, and the subset of it that the paper's ISA extension exposes to the
+/// 2-entry hardware event queue (§4.1): the handler's starting instruction
+/// address and the argument-object address.
+///
+/// # Examples
+///
+/// ```
+/// use esp_trace::EventRecord;
+/// use esp_types::{Addr, Cycle, EventId, EventKindId};
+///
+/// let e = EventRecord {
+///     id: EventId::new(0),
+///     kind: EventKindId::new(2),
+///     handler_pc: Addr::new(0x40_0000),
+///     arg_addr: Addr::new(0x8000_0000),
+///     approx_len: 55_000,
+///     post_time: Cycle::ZERO,
+///     order_mispredicted: false,
+/// };
+/// assert_eq!(e.id.index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// The event's position in posting (and execution) order.
+    pub id: EventId,
+    /// Which handler type this event invokes.
+    pub kind: EventKindId,
+    /// The handler's first instruction address — what the hardware event
+    /// queue entry stores.
+    pub handler_pc: Addr,
+    /// The address of the argument object passed to the handler (the
+    /// calling-convention change proposed in §4.1).
+    pub arg_addr: Addr,
+    /// The approximate dynamic instruction count of the handler. Only a
+    /// hint (used for scheduling and reporting); the authoritative length
+    /// is whatever the event's stream produces.
+    pub approx_len: u64,
+    /// The cycle at which the event was posted to the software queue. An
+    /// event cannot begin (or be pre-executed) before this time.
+    pub post_time: Cycle,
+    /// True if the software runtime's prediction of execution order turned
+    /// out wrong for this event (e.g. a synchronous barrier reordered it,
+    /// §4.5). The hardware event queue sets its "incorrect prediction" bit
+    /// and ESP must discard the lists gathered for it.
+    pub order_mispredicted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_copy() {
+        let e = EventRecord {
+            id: EventId::new(3),
+            kind: EventKindId::new(1),
+            handler_pc: Addr::new(0x1000),
+            arg_addr: Addr::new(0x2000),
+            approx_len: 10,
+            post_time: Cycle::new(5),
+            order_mispredicted: true,
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert!(f.order_mispredicted);
+        assert_eq!(f.post_time, Cycle::new(5));
+    }
+}

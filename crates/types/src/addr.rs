@@ -1,0 +1,221 @@
+//! Byte and cache-line address newtypes.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A byte address in the simulated machine's virtual address space.
+///
+/// `Addr` is used for both instruction addresses (program counters) and data
+/// addresses. Convert to a [`LineAddr`] with [`Addr::line`] before indexing
+/// any cache structure.
+///
+/// # Examples
+///
+/// ```
+/// use esp_types::Addr;
+///
+/// let pc = Addr::new(0x4000);
+/// assert_eq!(pc + 4, Addr::new(0x4004));
+/// assert_eq!((pc + 4) - pc, 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Used as a sentinel for "no target yet".
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line this address falls into, for a given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        debug_assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        LineAddr(self.0 / line_bytes)
+    }
+
+    /// Returns the byte offset of this address within its cache line.
+    #[inline]
+    pub fn line_offset(self, line_bytes: u64) -> u64 {
+        self.0 & (line_bytes - 1)
+    }
+
+    /// Returns the signed distance `self - other` in bytes.
+    #[inline]
+    pub fn distance(self, other: Addr) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line address: a byte address divided by the line size.
+///
+/// All cache structures in `esp-mem` are indexed by `LineAddr` so that the
+/// line-size division happens exactly once, at the [`Addr::line`] boundary.
+///
+/// # Examples
+///
+/// ```
+/// use esp_types::{Addr, LineAddr};
+///
+/// let l = Addr::new(0x1040).line(64);
+/// assert_eq!(l, LineAddr::new(0x41));
+/// assert_eq!(l.next(), LineAddr::new(0x42));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    #[inline]
+    pub const fn base(self, line_bytes: u64) -> Addr {
+        Addr::new(self.0 * line_bytes)
+    }
+
+    /// Returns the immediately following line (next-line prefetch target).
+    #[inline]
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0.wrapping_add(1))
+    }
+
+    /// Returns the line `n` lines after this one.
+    #[inline]
+    pub const fn offset(self, n: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add_signed(n))
+    }
+}
+
+impl From<u64> for LineAddr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_mapping() {
+        assert_eq!(Addr::new(0).line(64), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(64), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(64), LineAddr::new(1));
+        assert_eq!(Addr::new(0xfff).line(64), LineAddr::new(0x3f));
+    }
+
+    #[test]
+    fn addr_line_offset() {
+        assert_eq!(Addr::new(0x105).line_offset(64), 5);
+        assert_eq!(Addr::new(0x140).line_offset(64), 0);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let a = Addr::new(0x1234_5678);
+        let l = a.line(64);
+        assert!(l.base(64) <= a);
+        assert!(a.as_u64() - l.base(64).as_u64() < 64);
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!(a + 28, Addr::new(128));
+        assert_eq!(Addr::new(128) - a, 28);
+        assert_eq!(a.distance(Addr::new(128)), -28);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b, Addr::new(104));
+    }
+
+    #[test]
+    fn line_next_and_offset() {
+        let l = LineAddr::new(10);
+        assert_eq!(l.next(), LineAddr::new(11));
+        assert_eq!(l.offset(-3), LineAddr::new(7));
+        assert_eq!(l.offset(5), LineAddr::new(15));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(0x40).to_string(), "L0x40");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+    }
+}

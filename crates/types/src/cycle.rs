@@ -1,0 +1,124 @@
+//! Simulated-time cycle counter.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// `Cycle` is a monotonically increasing counter; differences between two
+/// `Cycle` values are plain `u64` durations.
+///
+/// # Examples
+///
+/// ```
+/// use esp_types::Cycle;
+///
+/// let start = Cycle::ZERO + 10;
+/// let end = start + 101;
+/// assert_eq!(end - start, 101);
+/// assert!(end.is_after(start));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Simulated time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if `self` is strictly later than `other`.
+    #[inline]
+    pub fn is_after(self, other: Cycle) -> bool {
+        self > other
+    }
+
+    /// Returns the number of cycles from `earlier` to `self`, or 0 if
+    /// `earlier` is actually later (saturating).
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the later of two points in time.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Cycle::new(5);
+        let b = a + 10;
+        assert_eq!(b - a, 10);
+        assert!(b.is_after(a));
+        assert!(!a.is_after(a));
+        assert_eq!(a.since(b), 0);
+        assert_eq!(b.since(a), 10);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = Cycle::ZERO;
+        t += 7;
+        t += 3;
+        assert_eq!(t.as_u64(), 10);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(42).to_string(), "42c");
+    }
+}

@@ -1,0 +1,77 @@
+//! The workspace error type.
+
+use core::fmt;
+
+/// A convenient `Result` alias used across the ESP workspace.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors produced while configuring or running the ESP simulator.
+///
+/// Most simulator APIs are infallible once constructed; errors surface at
+/// configuration boundaries (invalid cache geometry, empty workloads, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was invalid; the payload explains which.
+    InvalidConfig(String),
+    /// A workload was structurally invalid (e.g. contained no events).
+    InvalidWorkload(String),
+    /// A named entity (benchmark profile, figure id, …) was not found.
+    UnknownName(String),
+}
+
+impl Error {
+    /// Creates an [`Error::InvalidConfig`] from any displayable message.
+    pub fn invalid_config(msg: impl fmt::Display) -> Self {
+        Error::InvalidConfig(msg.to_string())
+    }
+
+    /// Creates an [`Error::InvalidWorkload`] from any displayable message.
+    pub fn invalid_workload(msg: impl fmt::Display) -> Self {
+        Error::InvalidWorkload(msg.to_string())
+    }
+
+    /// Creates an [`Error::UnknownName`] from any displayable message.
+    pub fn unknown_name(msg: impl fmt::Display) -> Self {
+        Error::UnknownName(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            Error::UnknownName(msg) => write!(f, "unknown name: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::invalid_config("ways must divide lines").to_string(),
+            "invalid configuration: ways must divide lines"
+        );
+        assert_eq!(
+            Error::invalid_workload("no events").to_string(),
+            "invalid workload: no events"
+        );
+        assert_eq!(
+            Error::unknown_name("fig99").to_string(),
+            "unknown name: fig99"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,104 @@
+//! Identity newtypes for events and event kinds.
+
+use core::fmt;
+
+/// The identity of one dynamic event instance in a workload schedule.
+///
+/// Event ids are dense and monotonically increasing in posting order, so
+/// they double as positions in the software event queue's history.
+///
+/// # Examples
+///
+/// ```
+/// use esp_types::EventId;
+///
+/// let e = EventId::new(3);
+/// assert_eq!(e.next(), EventId::new(4));
+/// assert_eq!(e.index(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The first event in a schedule.
+    pub const FIRST: EventId = EventId(0);
+
+    /// Creates an event id from a raw index.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        EventId(raw)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the id of the event posted immediately after this one.
+    #[inline]
+    pub const fn next(self) -> EventId {
+        EventId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// The identity of an event *kind*: a handler type such as "mouse click" or
+/// "timer fire" in an asynchronous program.
+///
+/// All dynamic events of the same kind share a handler entry point and a
+/// code/data working-set profile, but each dynamic instance walks the code
+/// image with its own seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKindId(u32);
+
+impl EventKindId {
+    /// Creates a kind id from a raw index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        EventKindId(raw)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventKindId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_sequence() {
+        let mut e = EventId::FIRST;
+        for i in 0..5 {
+            assert_eq!(e.index(), i);
+            e = e.next();
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(EventId::new(1) < EventId::new(2));
+        assert!(EventKindId::new(0) < EventKindId::new(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EventId::new(12).to_string(), "E12");
+        assert_eq!(EventKindId::new(3).to_string(), "K3");
+    }
+}

@@ -1,0 +1,257 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator's workload generation must be *bit-stable*: the same seed
+//! must produce the same instruction stream on every platform and toolchain,
+//! forever, because (a) the ESP speculative-replay machinery relies on
+//! re-deriving an event's stream from its seed, and (b) the calibration and
+//! regression tests pin exact metric values. We therefore implement two
+//! small, well-known generators here instead of depending on an external
+//! crate whose stream might change across versions:
+//!
+//! * [`SplitMix64`] — used to derive seeds from seeds (its 64-bit state
+//!   makes it ideal for seeding).
+//! * [`Xoshiro256pp`] — xoshiro256++, the workhorse generator.
+
+/// A source of pseudo-random 64-bit values.
+///
+/// Implemented by [`SplitMix64`] and [`Xoshiro256pp`]. The provided helpers
+/// derive bounded integers, floats, and Bernoulli draws from `next_u64`.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift reduction (without the rejection step;
+    /// the bias is below 2^-32 for the bounds used in this workspace and
+    /// determinism matters more than the last ulp of uniformity here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range() requires lo < hi");
+        lo + self.below(hi - lo)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Returns a sample from an approximately standard normal distribution
+    /// (Irwin–Hall sum of 4 uniforms, rescaled; cheap and deterministic).
+    fn approx_normal(&mut self) -> f64 {
+        let s: f64 = (0..4).map(|_| self.unit_f64()).sum();
+        (s - 2.0) * (12.0f64 / 4.0).sqrt()
+    }
+
+    /// Returns a sample from a log-normal distribution with the given
+    /// parameters of the underlying normal.
+    fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.approx_normal()).exp()
+    }
+}
+
+/// The SplitMix64 generator (Steele, Lea, Flood 2014).
+///
+/// Primarily used to expand one seed into many independent seeds.
+///
+/// # Examples
+///
+/// ```
+/// use esp_types::{Rng, SplitMix64};
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent child seed for a labelled sub-stream.
+    ///
+    /// The label keeps sibling streams (e.g. "code layout" vs "event
+    /// lengths") independent even when derived from the same parent seed.
+    pub fn derive(seed: u64, label: u64) -> u64 {
+        let mut g = SplitMix64::new(seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        g.next_u64()
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The xoshiro256++ generator (Blackman & Vigna 2019).
+///
+/// The main generator used during trace generation. State is `Clone` so a
+/// trace cursor can be checkpointed and resumed — the mechanism behind
+/// re-entrant ESP pre-execution.
+///
+/// # Examples
+///
+/// ```
+/// use esp_types::{Rng, Xoshiro256pp};
+///
+/// let mut g = Xoshiro256pp::seed_from_u64(7);
+/// let checkpoint = g.clone();
+/// let x = g.next_u64();
+/// assert_eq!(checkpoint.clone().next_u64(), x);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator by expanding a 64-bit seed through SplitMix64,
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // A xoshiro state of all zeros is a fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            Xoshiro256pp { s: [1, 2, 3, 4] }
+        } else {
+            Xoshiro256pp { s }
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 6457827717110365317);
+        assert_eq!(g.next_u64(), 3203168211198807973);
+        assert_eq!(g.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_clonable() {
+        let mut a = Xoshiro256pp::seed_from_u64(99);
+        let mut b = Xoshiro256pp::seed_from_u64(99);
+        let vals_a: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vals_b: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(vals_a, vals_b);
+
+        let mut c = Xoshiro256pp::seed_from_u64(99);
+        c.next_u64();
+        let snap = c.clone();
+        let rest: Vec<u64> = {
+            let mut c2 = snap.clone();
+            (0..8).map(|_| c2.next_u64()).collect()
+        };
+        let rest2: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(rest, rest2);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut g = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = g.below(37);
+            assert!(v < 37);
+        }
+        for _ in 0..1000 {
+            let v = g.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        let mut g = SplitMix64::new(1);
+        let _ = g.below(0);
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut g = Xoshiro256pp::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = g.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_rate_is_roughly_p() {
+        let mut g = Xoshiro256pp::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| g.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_sane_median() {
+        let mut g = Xoshiro256pp::seed_from_u64(17);
+        let mut vals: Vec<f64> = (0..2001).map(|_| g.log_normal(2.0, 0.5)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[1000];
+        // Median of lognormal(mu, sigma) is e^mu ≈ 7.39.
+        assert!((5.0..10.0).contains(&median), "median={median}");
+    }
+
+    #[test]
+    fn derive_is_label_sensitive() {
+        let a = SplitMix64::derive(42, 1);
+        let b = SplitMix64::derive(42, 2);
+        let a2 = SplitMix64::derive(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Machine and engine configuration.
+
+use crate::PerfectFlags;
+use esp_branch::{BranchConfig, ContextPolicy};
+use esp_mem::HierarchyConfig;
+use esp_types::{Error, Result};
+
+/// The core parameters of Fig. 7.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Issue/retire width.
+    pub width: u32,
+    /// Reorder-buffer entries — also the window of the MLP overlap rule.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// Core frequency in MHz (used only for reporting; the model is in
+    /// cycles).
+    pub freq_mhz: u32,
+    /// Memory hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor sizing.
+    pub branch: BranchConfig,
+}
+
+impl MachineConfig {
+    /// The paper's baseline, modelled on Samsung's Exynos 5250: 4-wide
+    /// out-of-order at 1.66 GHz, 96-entry ROB, 16-entry LSQ.
+    pub fn exynos5250() -> Self {
+        MachineConfig {
+            width: 4,
+            rob_entries: 96,
+            lsq_entries: 16,
+            freq_mhz: 1660,
+            hierarchy: HierarchyConfig::exynos5250(),
+            branch: BranchConfig::pentium_m(),
+        }
+    }
+
+    /// Validates all nested configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero width/ROB/LSQ or any
+    /// nested configuration error.
+    pub fn validate(&self) -> Result<()> {
+        if self.width == 0 || self.rob_entries == 0 || self.lsq_entries == 0 {
+            return Err(Error::invalid_config("width/rob/lsq must be positive"));
+        }
+        self.hierarchy.validate()?;
+        self.branch.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::exynos5250()
+    }
+}
+
+/// Interval-model calibration knobs (documented in `DESIGN.md` §3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingParams {
+    /// Extra issue cost per instruction in milli-cycles, on top of
+    /// `1000 / width`. Stands in for dependence chains, LSQ pressure and
+    /// other dispatch inefficiency; calibrated so "perfect everything"
+    /// roughly doubles baseline performance (Fig. 3).
+    pub issue_extra_millis: u64,
+    /// Percentage of a data L2-hit (or in-flight) latency that the
+    /// out-of-order window fails to hide.
+    pub data_exposed_pct: u64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams { issue_extra_millis: 500, data_exposed_pct: 60 }
+    }
+}
+
+/// Everything an [`crate::Engine`] needs: machine, timing, prefetcher
+/// switches, perfect-component flags, and the branch-context policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Core and memory configuration.
+    pub machine: MachineConfig,
+    /// Interval-model calibration.
+    pub timing: TimingParams,
+    /// Next-line instruction prefetcher enabled.
+    pub nl_instr: bool,
+    /// DCU-style next-line data prefetcher enabled.
+    pub nl_data: bool,
+    /// Stride data prefetcher enabled.
+    pub stride: bool,
+    /// Idealised components (Fig. 3).
+    pub perfect: PerfectFlags,
+    /// Branch-predictor context replication policy.
+    pub bp_policy: ContextPolicy,
+}
+
+impl EngineConfig {
+    /// The no-prefetch baseline all of Fig. 9 normalises to.
+    pub fn baseline() -> Self {
+        EngineConfig {
+            machine: MachineConfig::exynos5250(),
+            timing: TimingParams::default(),
+            nl_instr: false,
+            nl_data: false,
+            stride: false,
+            perfect: PerfectFlags::none(),
+            bp_policy: ContextPolicy::SeparatePir,
+        }
+    }
+
+    /// Baseline plus next-line prefetching on both sides ("NL").
+    pub fn next_line() -> Self {
+        EngineConfig { nl_instr: true, nl_data: true, ..Self::baseline() }
+    }
+
+    /// Next-line plus the stride prefetcher ("NL + S") — the strongest
+    /// non-speculative baseline in Fig. 9.
+    pub fn next_line_stride() -> Self {
+        EngineConfig { stride: true, ..Self::next_line() }
+    }
+
+    /// Validates nested configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineConfig::validate`], and rejects a zero
+    /// `data_exposed_pct` above 100.
+    pub fn validate(&self) -> Result<()> {
+        self.machine.validate()?;
+        if self.timing.data_exposed_pct > 100 {
+            return Err(Error::invalid_config("data_exposed_pct must be <= 100"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        MachineConfig::exynos5250().validate().unwrap();
+        EngineConfig::baseline().validate().unwrap();
+        EngineConfig::next_line().validate().unwrap();
+        EngineConfig::next_line_stride().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_flags() {
+        let b = EngineConfig::baseline();
+        assert!(!b.nl_instr && !b.nl_data && !b.stride);
+        let nl = EngineConfig::next_line();
+        assert!(nl.nl_instr && nl.nl_data && !nl.stride);
+        let nls = EngineConfig::next_line_stride();
+        assert!(nls.stride);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = EngineConfig::baseline();
+        c.machine.width = 0;
+        assert!(c.validate().is_err());
+        let mut c = EngineConfig::baseline();
+        c.timing.data_exposed_pct = 150;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fig7_values() {
+        let m = MachineConfig::exynos5250();
+        assert_eq!(m.width, 4);
+        assert_eq!(m.rob_entries, 96);
+        assert_eq!(m.lsq_entries, 16);
+        assert_eq!(m.hierarchy.mem_latency, 101);
+        assert_eq!(m.branch.mispredict_penalty, 15);
+    }
+}

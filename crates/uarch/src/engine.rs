@@ -1,0 +1,552 @@
+//! The interval-model execution engine.
+
+use crate::EngineConfig;
+use esp_branch::{BranchPredictor, Prediction, PredictorContext};
+use esp_mem::prefetch::{DcuNextLine, NextLineInstr, StridePrefetcher};
+use esp_mem::MemoryHierarchy;
+use esp_trace::{Instr, InstrKind};
+use esp_types::{Cycle, LineAddr};
+
+/// Which kind of last-level-cache miss opened a stall window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// An instruction fetch missed the LLC.
+    InstrLlcMiss,
+    /// A demand load missed the LLC (and did not overlap a prior miss).
+    DataLlcMiss,
+}
+
+/// An exposed LLC-miss stall: idle cycles a pre-execution scheme may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stall {
+    /// What missed.
+    pub kind: StallKind,
+    /// The cycle the stall began.
+    pub start: Cycle,
+    /// Exposed (idle) cycles.
+    pub cycles: u64,
+}
+
+/// What happened while retiring one instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// An LLC-miss stall window, if one was exposed.
+    pub stall: Option<Stall>,
+    /// The fetch missed (or partially hit) the L1-I.
+    pub l1i_miss: bool,
+    /// The data access missed (or partially hit) the L1-D.
+    pub l1d_miss: bool,
+    /// The branch mispredicted.
+    pub mispredict: bool,
+}
+
+impl Default for Stall {
+    fn default() -> Self {
+        Stall { kind: StallKind::DataLlcMiss, start: Cycle::ZERO, cycles: 0 }
+    }
+}
+
+/// Where the cycles went — the breakdown behind every figure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Issue-width and dispatch-inefficiency cycles.
+    pub base: u64,
+    /// Exposed instruction-fetch stall cycles.
+    pub icache: u64,
+    /// Exposed data-access stall cycles.
+    pub dcache: u64,
+    /// Branch misprediction penalties.
+    pub branch: u64,
+    /// Cycles with an empty event queue.
+    pub idle: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> u64 {
+        self.base + self.icache + self.dcache + self.branch + self.idle
+    }
+}
+
+/// Normal-mode demand counters (kept separate from the raw cache
+/// statistics so runahead/ESP activity never distorts the reported
+/// rates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instructions retired in normal mode.
+    pub retired: u64,
+    /// L1-I demand lookups (one per fetched line transition).
+    pub l1i_accesses: u64,
+    /// L1-I demand misses (including in-flight partial hits).
+    pub l1i_misses: u64,
+    /// L1-D demand lookups (loads and stores).
+    pub l1d_accesses: u64,
+    /// L1-D demand misses (including in-flight partial hits).
+    pub l1d_misses: u64,
+    /// Branches retired in normal mode.
+    pub branches: u64,
+    /// Branches mispredicted in normal mode.
+    pub mispredicts: u64,
+    /// Direct-target BTB misfetches (cheap decode re-steers; not counted
+    /// in the misprediction rate).
+    pub misfetches: u64,
+    /// Instructions pre-executed in runahead mode.
+    pub runahead_instrs: u64,
+}
+
+/// The interval-model core: memory hierarchy, branch predictor,
+/// prefetchers, and the cycle-accounting state machine.
+///
+/// Drive it by calling [`Engine::step`] once per retiring instruction of
+/// the normal-mode stream. The engine charges all cycles itself; the
+/// returned [`StepOutcome::stall`] tells the caller how large the
+/// just-charged idle window was, so a pre-execution scheme can spend it.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    mem: MemoryHierarchy,
+    bp: BranchPredictor,
+    nl_i: NextLineInstr,
+    dcu: DcuNextLine,
+    stride: StridePrefetcher,
+    now: Cycle,
+    millis: u64,
+    base_millis_per_instr: u64,
+    last_fetch_line: Option<LineAddr>,
+    last_data_llc_miss_at: Option<u64>,
+    breakdown: CycleBreakdown,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Builds an engine with cold caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`EngineConfig::validate`].
+    pub fn new(cfg: EngineConfig) -> Self {
+        cfg.validate().expect("invalid engine configuration");
+        let mem = MemoryHierarchy::new(cfg.machine.hierarchy.clone());
+        let bp = BranchPredictor::new(cfg.machine.branch.clone(), cfg.bp_policy);
+        let base_millis_per_instr = 1000 / cfg.machine.width as u64 + cfg.timing.issue_extra_millis;
+        Engine {
+            mem,
+            bp,
+            nl_i: NextLineInstr::new(),
+            dcu: DcuNextLine::new(),
+            stride: StridePrefetcher::new(256),
+            now: Cycle::ZERO,
+            millis: 0,
+            base_millis_per_instr,
+            last_fetch_line: None,
+            last_data_llc_miss_at: None,
+            breakdown: CycleBreakdown::default(),
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The cycle breakdown so far.
+    pub fn breakdown(&self) -> &CycleBreakdown {
+        &self.breakdown
+    }
+
+    /// Normal-mode demand counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy (for list-driven prefetches and probes).
+    pub fn mem(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Mutable access to the memory hierarchy.
+    pub fn mem_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// The branch predictor.
+    pub fn bp(&self) -> &BranchPredictor {
+        &self.bp
+    }
+
+    /// Mutable access to the branch predictor (ESP-mode predictions and
+    /// B-list replay training).
+    pub fn bp_mut(&mut self) -> &mut BranchPredictor {
+        &mut self.bp
+    }
+
+    /// Charges the pipeline-restart penalty paid when leaving a
+    /// speculative pre-execution mode (runahead exit, or ESP-mode exit on
+    /// miss return): "all instructions in the pipeline are flushed at
+    /// this point" (§4.1), so the front end refills like after a branch
+    /// misprediction.
+    pub fn charge_pipeline_restart(&mut self) {
+        let p = self.bp.mispredict_penalty();
+        self.now += p;
+        self.breakdown.branch += p;
+    }
+
+    /// Idles the core until `t` (empty event queue).
+    pub fn idle_until(&mut self, t: Cycle) {
+        if t.is_after(self.now) {
+            self.breakdown.idle += t - self.now;
+            self.now = t;
+        }
+    }
+
+    /// Records `instrs` runahead pre-executed instructions (called by the
+    /// runahead driver; exposed for the energy model).
+    pub(crate) fn note_runahead_instrs(&mut self, instrs: u64) {
+        self.stats.runahead_instrs += instrs;
+    }
+
+    fn charge_base(&mut self) {
+        self.millis += self.base_millis_per_instr;
+        let whole = self.millis / 1000;
+        self.millis %= 1000;
+        self.now += whole;
+        self.breakdown.base += whole;
+    }
+
+    /// Retires one normal-mode instruction, charging all cycles.
+    pub fn step(&mut self, instr: &Instr) -> StepOutcome {
+        let mut out = StepOutcome::default();
+        self.charge_base();
+
+        // ---- instruction fetch ------------------------------------------
+        let line_bytes = self.cfg.machine.hierarchy.l1i.line_bytes;
+        let fetch_line = instr.pc.line(line_bytes);
+        if self.last_fetch_line != Some(fetch_line) {
+            self.last_fetch_line = Some(fetch_line);
+            if !self.cfg.perfect.l1i {
+                self.stats.l1i_accesses += 1;
+                let hit_lat = self.cfg.machine.hierarchy.l1i.hit_latency;
+                let t_access = self.now;
+                let r = self.mem.access_instr(fetch_line, t_access);
+                // Miss-triggered one-block-lookahead: the next-line
+                // request goes out alongside the demand fill, overlapping
+                // the stall. (Hit-triggered NL would double-count the
+                // paper's modest 13.8% NL gain.)
+                if self.cfg.nl_instr && r.l1_miss {
+                    if let Some(p) = self.nl_i.on_fetch(fetch_line) {
+                        self.mem.prefetch_instr(p, t_access, true);
+                    }
+                }
+                if r.l1_miss {
+                    self.stats.l1i_misses += 1;
+                    out.l1i_miss = true;
+                }
+                let exposed = r.latency.saturating_sub(hit_lat);
+                self.now += exposed;
+                self.breakdown.icache += exposed;
+                if r.llc_miss && exposed > 0 {
+                    out.stall = Some(Stall {
+                        kind: StallKind::InstrLlcMiss,
+                        start: t_access,
+                        cycles: exposed,
+                    });
+                }
+            }
+        }
+
+        // ---- branch ------------------------------------------------------
+        if instr.is_branch() {
+            self.stats.branches += 1;
+            let outcome = if self.cfg.perfect.branch {
+                Prediction::Correct
+            } else {
+                self.bp.predict_and_update(PredictorContext::Normal, instr)
+            };
+            let penalty = self.bp.penalty_of(outcome);
+            self.now += penalty;
+            self.breakdown.branch += penalty;
+            match outcome {
+                Prediction::Mispredict => {
+                    self.stats.mispredicts += 1;
+                    out.mispredict = true;
+                }
+                Prediction::Misfetch => self.stats.misfetches += 1,
+                Prediction::Correct => {}
+            }
+        }
+
+        // ---- data --------------------------------------------------------
+        match instr.kind {
+            InstrKind::Load { addr, .. } if !self.cfg.perfect.l1d => {
+                self.stats.l1d_accesses += 1;
+                let line = addr.line(line_bytes);
+                let hit_lat = self.cfg.machine.hierarchy.l1d.hit_latency;
+                let t_access = self.now;
+                let r = self.mem.access_data(line, t_access, false);
+                if self.cfg.nl_data {
+                    if let Some(p) = self.dcu.on_access(line) {
+                        self.mem.prefetch_data(p, t_access, true);
+                    }
+                }
+                if self.cfg.stride {
+                    if let Some(p) = self.stride.on_load(instr.pc, addr, line_bytes) {
+                        self.mem.prefetch_data(p, t_access, true);
+                    }
+                }
+                if r.l1_miss {
+                    self.stats.l1d_misses += 1;
+                    out.l1d_miss = true;
+                }
+                let exposed = if r.llc_miss {
+                    let overlapped = self
+                        .last_data_llc_miss_at
+                        .is_some_and(|at| self.stats.retired - at < self.cfg.machine.rob_entries as u64);
+                    self.last_data_llc_miss_at = Some(self.stats.retired);
+                    if overlapped {
+                        0
+                    } else {
+                        r.latency
+                    }
+                } else {
+                    r.latency.saturating_sub(hit_lat) * self.cfg.timing.data_exposed_pct / 100
+                };
+                self.now += exposed;
+                self.breakdown.dcache += exposed;
+                if r.llc_miss && exposed > 0 {
+                    out.stall = Some(Stall {
+                        kind: StallKind::DataLlcMiss,
+                        start: t_access,
+                        cycles: exposed,
+                    });
+                }
+            }
+            InstrKind::Store { addr } if !self.cfg.perfect.l1d => {
+                // Stores retire through the store buffer: they update
+                // cache state (write-allocate) but expose no latency.
+                self.stats.l1d_accesses += 1;
+                let line = addr.line(line_bytes);
+                let r = self.mem.access_data(line, self.now, true);
+                if r.l1_miss {
+                    self.stats.l1d_misses += 1;
+                    out.l1d_miss = true;
+                }
+                if self.cfg.nl_data {
+                    if let Some(p) = self.dcu.on_access(line) {
+                        self.mem.prefetch_data(p, self.now, true);
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        self.stats.retired += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerfectFlags;
+    use esp_types::Addr;
+
+    fn alu_at(pc: u64) -> Instr {
+        Instr::alu(Addr::new(pc))
+    }
+
+    #[test]
+    fn base_cost_accounting() {
+        let mut e = Engine::new(EngineConfig {
+            perfect: PerfectFlags::all(),
+            ..EngineConfig::baseline()
+        });
+        // 4-wide + 500 extra milli-cycles = 750 millicycles per instr.
+        for i in 0..1000u64 {
+            e.step(&alu_at(0x1000 + i * 4));
+        }
+        assert_eq!(e.now().as_u64(), 750);
+        assert_eq!(e.breakdown().base, 750);
+        assert_eq!(e.stats().retired, 1000);
+    }
+
+    #[test]
+    fn cold_fetch_charges_and_reports_stall() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        let out = e.step(&alu_at(0x40_0000));
+        assert!(out.l1i_miss);
+        let stall = out.stall.expect("cold fetch is an LLC miss");
+        assert_eq!(stall.kind, StallKind::InstrLlcMiss);
+        assert_eq!(stall.cycles, 99); // 101 total minus 2-cycle hit
+        assert_eq!(e.breakdown().icache, 99);
+        // Same line again: no new fetch charge.
+        let out2 = e.step(&alu_at(0x40_0004));
+        assert!(!out2.l1i_miss);
+        assert_eq!(e.breakdown().icache, 99);
+    }
+
+    #[test]
+    fn data_llc_misses_overlap_within_rob() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        // Two cold loads close together: the second overlaps the first.
+        let l1 = Instr::load(Addr::new(0x1000), Addr::new(0x10_0000), false);
+        let l2 = Instr::load(Addr::new(0x1004), Addr::new(0x20_0000), false);
+        let o1 = e.step(&l1);
+        assert!(o1.stall.is_some());
+        let d_before = e.breakdown().dcache;
+        let o2 = e.step(&l2);
+        assert!(o2.stall.is_none(), "overlapped miss exposes no stall");
+        assert_eq!(e.breakdown().dcache, d_before);
+    }
+
+    #[test]
+    fn distant_data_misses_both_stall() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        e.step(&Instr::load(Addr::new(0x1000), Addr::new(0x10_0000), false));
+        // Retire a ROB's worth of ALU work in between.
+        for i in 0..100u64 {
+            e.step(&alu_at(0x1000 + i * 4));
+        }
+        let out = e.step(&Instr::load(Addr::new(0x2000), Addr::new(0x20_0000), false));
+        assert!(out.stall.is_some());
+    }
+
+    #[test]
+    fn l2_hit_data_charge_is_partial() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        let addr = Addr::new(0x30_0000);
+        e.step(&Instr::load(Addr::new(0x1000), addr, false));
+        // Evict from L1-D with two conflicting lines (2-way, 256 sets).
+        let conflict1 = Addr::new(0x30_0000 + 256 * 64);
+        let conflict2 = Addr::new(0x30_0000 + 512 * 64);
+        for _ in 0..2 {
+            e.step(&Instr::load(Addr::new(0x1010), conflict1, false));
+            e.step(&Instr::load(Addr::new(0x1014), conflict2, false));
+        }
+        e.idle_until(Cycle::new(10_000));
+        let d_before = e.breakdown().dcache;
+        let out = e.step(&Instr::load(Addr::new(0x1004), addr, false));
+        assert!(out.l1d_miss);
+        assert!(out.stall.is_none());
+        // Exposed charge: (2 + 21 - 2) * 60% = 12 cycles.
+        assert_eq!(e.breakdown().dcache - d_before, 12);
+    }
+
+    #[test]
+    fn mispredict_penalty_charged() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        // Warm the fetch path first to isolate the branch charge.
+        e.step(&alu_at(0x1000));
+        let b_before = e.breakdown().branch;
+        // A cold *forward taken* branch defeats BTFN static prediction:
+        // full misprediction penalty.
+        e.step(&Instr::cond_branch(Addr::new(0x1004), true, Addr::new(0x2000)));
+        assert_eq!(e.breakdown().branch - b_before, 15);
+        assert_eq!(e.stats().mispredicts, 1);
+        assert_eq!(e.stats().branches, 1);
+        // A cold *backward taken* branch is BTFN-correct in direction but
+        // misses the BTB: only the decode re-steer penalty.
+        let b_before = e.breakdown().branch;
+        e.step(&Instr::cond_branch(Addr::new(0x1008), true, Addr::new(0x1000)));
+        assert_eq!(e.breakdown().branch - b_before, 6);
+        assert_eq!(e.stats().misfetches, 1);
+        assert_eq!(e.stats().mispredicts, 1);
+    }
+
+    #[test]
+    fn perfect_flags_remove_charges() {
+        let mut e = Engine::new(EngineConfig {
+            perfect: PerfectFlags::all(),
+            ..EngineConfig::baseline()
+        });
+        e.step(&Instr::load(Addr::new(0x40_0000), Addr::new(0x9_0000), false));
+        e.step(&Instr::cond_branch(Addr::new(0x40_0004), true, Addr::new(0x10)));
+        assert_eq!(e.breakdown().icache, 0);
+        assert_eq!(e.breakdown().dcache, 0);
+        assert_eq!(e.breakdown().branch, 0);
+        assert_eq!(e.stats().mispredicts, 0);
+        assert_eq!(e.stats().l1i_accesses, 0, "perfect L1-I skips demand counting");
+    }
+
+    #[test]
+    fn next_line_instr_prefetch_helps_sequential_fetch() {
+        let run = |nl: bool| {
+            let mut cfg = EngineConfig::baseline();
+            cfg.nl_instr = nl;
+            let mut e = Engine::new(cfg);
+            // March straight through 64 lines of code.
+            for i in 0..(64 * 16) {
+                e.step(&alu_at(0x40_0000 + i * 4));
+            }
+            e.breakdown().icache
+        };
+        let without = run(false);
+        let with = run(true);
+        // Miss-triggered one-block-lookahead roughly halves sequential
+        // miss cost (prefetched lines don't themselves trigger).
+        assert!(
+            with < without * 3 / 4,
+            "next-line should cut sequential fetch stalls: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn stride_prefetch_helps_strided_loads() {
+        let run = |stride: bool| {
+            let mut cfg = EngineConfig::baseline();
+            cfg.stride = stride;
+            let mut e = Engine::new(cfg);
+            for i in 0..256u64 {
+                e.step(&Instr::load(Addr::new(0x1000), Addr::new(0x10_0000 + i * 256), false));
+                // Space the loads beyond the ROB window so misses do not
+                // just overlap away.
+                for j in 0..100 {
+                    e.step(&alu_at(0x2000 + j * 4));
+                }
+            }
+            e.breakdown().dcache
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(with < without, "stride prefetching should help: {with} vs {without}");
+    }
+
+    #[test]
+    fn idle_accounting() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        e.idle_until(Cycle::new(500));
+        assert_eq!(e.breakdown().idle, 500);
+        // Idling backwards is a no-op.
+        e.idle_until(Cycle::new(100));
+        assert_eq!(e.now().as_u64(), 500);
+    }
+
+    #[test]
+    fn breakdown_total_matches_now() {
+        let mut e = Engine::new(EngineConfig::next_line());
+        let mut pc = 0x40_0000u64;
+        for i in 0..5000u64 {
+            let instr = match i % 7 {
+                0 => Instr::load(Addr::new(pc), Addr::new(0x10_0000 + i * 64), false),
+                3 => Instr::store(Addr::new(pc), Addr::new(0x20_0000 + i * 8)),
+                5 => Instr::cond_branch(Addr::new(pc), i % 2 == 0, Addr::new(0x40_0000)),
+                _ => alu_at(pc),
+            };
+            if let Some(t) = instr.branch_taken().filter(|&t| t).and(instr.branch_target()) {
+                pc = t.as_u64();
+            } else {
+                pc += 4;
+            }
+            e.step(&instr);
+        }
+        // now == total breakdown minus the sub-cycle residue.
+        let total = e.breakdown().total();
+        assert_eq!(e.now().as_u64(), total);
+    }
+}

@@ -1,0 +1,64 @@
+//! Idealised components for the Fig. 3 potential study.
+
+/// Which components to idealise. A perfect L1 never misses; a perfect
+/// branch predictor never mispredicts. Fig. 3 shows that web applications
+/// nearly double in performance with all three perfect, with the L1-I
+/// dominating — the motivation for ESP's I-list-first design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfectFlags {
+    /// Instruction fetches always hit.
+    pub l1i: bool,
+    /// Data accesses always hit.
+    pub l1d: bool,
+    /// Branches always predict correctly.
+    pub branch: bool,
+}
+
+impl PerfectFlags {
+    /// Nothing idealised (the real machine).
+    pub const fn none() -> Self {
+        PerfectFlags { l1i: false, l1d: false, branch: false }
+    }
+
+    /// Only the instruction cache is perfect.
+    pub const fn perfect_l1i() -> Self {
+        PerfectFlags { l1i: true, l1d: false, branch: false }
+    }
+
+    /// Only the data cache is perfect.
+    pub const fn perfect_l1d() -> Self {
+        PerfectFlags { l1i: false, l1d: true, branch: false }
+    }
+
+    /// Only the branch predictor is perfect.
+    pub const fn perfect_branch() -> Self {
+        PerfectFlags { l1i: false, l1d: false, branch: true }
+    }
+
+    /// Everything perfect.
+    pub const fn all() -> Self {
+        PerfectFlags { l1i: true, l1d: true, branch: true }
+    }
+
+    /// Whether any component is idealised.
+    pub const fn any(self) -> bool {
+        self.l1i || self.l1d || self.branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(!PerfectFlags::none().any());
+        assert!(PerfectFlags::perfect_l1i().l1i);
+        assert!(!PerfectFlags::perfect_l1i().l1d);
+        assert!(PerfectFlags::perfect_l1d().l1d);
+        assert!(PerfectFlags::perfect_branch().branch);
+        let all = PerfectFlags::all();
+        assert!(all.l1i && all.l1d && all.branch && all.any());
+        assert_eq!(PerfectFlags::default(), PerfectFlags::none());
+    }
+}

@@ -1,0 +1,292 @@
+//! The full knob set of the workload generator.
+
+use esp_types::{Error, Result};
+
+/// All tunable parameters of the synthetic asynchronous program.
+///
+/// A [`crate::BenchmarkProfile`] is a named `WorkloadParams` preset whose
+/// values were calibrated so the simulated baseline lands in the paper's
+/// reported metric bands. Fractions are of *instruction slots* unless
+/// noted otherwise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadParams {
+    // ---- scale -------------------------------------------------------
+    /// Target dynamic instructions for the whole run.
+    pub target_instructions: u64,
+    /// Mean dynamic instructions per event. Event lengths are drawn from
+    /// a log-normal with this mean.
+    pub mean_event_len: u64,
+    /// Sigma of the log-normal event-length distribution (heavy tail:
+    /// most events are much shorter than the mean).
+    pub event_len_sigma: f64,
+    /// Number of distinct event kinds (handler types) per page phase.
+    pub event_kinds: u32,
+    /// Events per "page phase". Browsing sessions navigate: every phase
+    /// switches to a fresh set of handler kinds (new page code and
+    /// structures), so long sessions keep exercising cold code instead of
+    /// converging to an unrealistic warm steady state.
+    pub events_per_phase: u32,
+
+    // ---- code image --------------------------------------------------
+    /// Total generated code footprint in bytes.
+    pub code_footprint_bytes: u64,
+    /// Mean body instructions per basic block (controls branch density:
+    /// every block ends in one control instruction).
+    pub mean_block_len: u32,
+    /// Mean basic blocks per function.
+    pub mean_blocks_per_fn: u32,
+    /// Fraction of block terminators that are calls.
+    pub call_frac: f64,
+    /// Probability that an executed call site actually descends into the
+    /// callee (the rest are guarded/inlined paths). Keeps the expected
+    /// call fan-out per function visit near 1 so walks neither die out
+    /// nor saturate the depth cap.
+    pub call_take_prob: f64,
+    /// Fraction of block terminators that are indirect dispatch sites.
+    pub dispatch_frac: f64,
+    /// Fraction of block terminators that are loop back-edges.
+    pub loop_frac: f64,
+    /// Number of possible targets at each dispatch site.
+    pub dispatch_targets: u32,
+    /// Mean loop trip count.
+    pub mean_loop_trips: u32,
+    /// Fraction of conditional branches that are strongly biased
+    /// (taken-probability near 0 or 1); the rest are weakly biased.
+    pub strong_bias_frac: f64,
+    /// Residual taken-probability noise of strongly biased branches
+    /// (e.g. 0.06 → p ∈ {0.06, 0.94}).
+    pub strong_bias_noise: f64,
+
+    // ---- per-event code locality --------------------------------------
+    /// Fraction of the function space in one kind's pool (per mille).
+    pub kind_pool_permille: u32,
+    /// Functions shared by all kinds (the "runtime"), as a fraction of
+    /// the function space (per mille).
+    pub shared_pool_permille: u32,
+    /// Functions sampled into one dynamic event's working pool.
+    pub event_pool_size: u32,
+
+    // ---- data model ----------------------------------------------------
+    /// Fraction of body instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of body instructions that are stores.
+    pub store_frac: f64,
+    /// Bytes of the shared global region.
+    pub global_bytes: u64,
+    /// Bytes of each kind's data region.
+    pub kind_bytes: u64,
+    /// Fresh heap bytes allocated per event (cold on first touch).
+    pub heap_per_event: u64,
+    /// Of all memory accesses: fraction hitting the hot stack.
+    pub stack_frac: f64,
+    /// Fraction hitting the global region.
+    pub global_frac: f64,
+    /// Fraction hitting the kind region (remainder goes to the heap).
+    pub kind_frac: f64,
+    /// Fraction of loads/stores that stream (sequential line-granular
+    /// walks the stride and DCU prefetchers can catch).
+    pub streaming_frac: f64,
+    /// Fraction of loads whose address chases a recent load (runahead
+    /// cannot prefetch these under the blocking miss).
+    pub chained_frac: f64,
+
+    // ---- asynchrony ----------------------------------------------------
+    /// Mean events per arrival burst.
+    pub mean_burst: f64,
+    /// Looper utilisation target in (0, 1]: arrival gaps are sized so the
+    /// looper is busy this fraction of the time.
+    pub utilization: f64,
+    /// Probability that a speculative pre-execution of an event diverges
+    /// from its real execution (§5 reports < 2 %).
+    pub p_divergence: f64,
+    /// Probability that an event executes out of the predicted order
+    /// (§4.5's "incorrect prediction" bit).
+    pub p_order_mispredict: f64,
+}
+
+impl WorkloadParams {
+    /// A mid-sized default resembling a generic Web 2.0 application.
+    pub fn web_default() -> Self {
+        WorkloadParams {
+            target_instructions: 400_000,
+            mean_event_len: 30_000,
+            event_len_sigma: 1.6,
+            event_kinds: 16,
+            events_per_phase: 12,
+            code_footprint_bytes: 2560 * 1024,
+            mean_block_len: 6,
+            mean_blocks_per_fn: 6,
+            call_frac: 0.25,
+            call_take_prob: 0.80,
+            dispatch_frac: 0.025,
+            loop_frac: 0.08,
+            dispatch_targets: 8,
+            mean_loop_trips: 3,
+            strong_bias_frac: 0.95,
+            strong_bias_noise: 0.025,
+            kind_pool_permille: 250,
+            shared_pool_permille: 80,
+            event_pool_size: 48,
+            load_frac: 0.30,
+            store_frac: 0.11,
+            global_bytes: 4 * 1024 * 1024,
+            kind_bytes: 256 * 1024,
+            heap_per_event: 24 * 1024,
+            stack_frac: 0.26,
+            global_frac: 0.16,
+            kind_frac: 0.18,
+            streaming_frac: 0.12,
+            chained_frac: 0.25,
+            mean_burst: 4.0,
+            utilization: 0.90,
+            p_divergence: 0.02,
+            p_order_mispredict: 0.005,
+        }
+    }
+
+    /// Validates every knob's domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the first offending field.
+    pub fn validate(&self) -> Result<()> {
+        fn frac(name: &str, v: f64) -> Result<()> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(Error::invalid_config(format!("{name} must be in [0,1], got {v}")))
+            }
+        }
+        if self.target_instructions == 0 {
+            return Err(Error::invalid_config("target_instructions must be positive"));
+        }
+        if self.mean_event_len == 0 {
+            return Err(Error::invalid_config("mean_event_len must be positive"));
+        }
+        if self.event_kinds == 0 {
+            return Err(Error::invalid_config("event_kinds must be positive"));
+        }
+        if self.events_per_phase == 0 {
+            return Err(Error::invalid_config("events_per_phase must be positive"));
+        }
+        if self.code_footprint_bytes < 64 * 1024 {
+            return Err(Error::invalid_config("code_footprint_bytes must be at least 64 KiB"));
+        }
+        if self.mean_block_len == 0 || self.mean_blocks_per_fn < 2 {
+            return Err(Error::invalid_config("block geometry too small"));
+        }
+        frac("call_frac", self.call_frac)?;
+        frac("call_take_prob", self.call_take_prob)?;
+        frac("dispatch_frac", self.dispatch_frac)?;
+        frac("loop_frac", self.loop_frac)?;
+        if self.call_frac + self.dispatch_frac + self.loop_frac > 0.9 {
+            return Err(Error::invalid_config(
+                "call/dispatch/loop fractions leave no room for conditional branches",
+            ));
+        }
+        if self.dispatch_targets == 0 || self.mean_loop_trips == 0 {
+            return Err(Error::invalid_config("dispatch_targets and mean_loop_trips must be positive"));
+        }
+        frac("strong_bias_frac", self.strong_bias_frac)?;
+        frac("strong_bias_noise", self.strong_bias_noise)?;
+        if self.kind_pool_permille == 0 || self.kind_pool_permille > 1000 {
+            return Err(Error::invalid_config("kind_pool_permille must be in 1..=1000"));
+        }
+        if self.shared_pool_permille > 1000 {
+            return Err(Error::invalid_config("shared_pool_permille must be <= 1000"));
+        }
+        if self.event_pool_size == 0 {
+            return Err(Error::invalid_config("event_pool_size must be positive"));
+        }
+        frac("load_frac", self.load_frac)?;
+        frac("store_frac", self.store_frac)?;
+        if self.load_frac + self.store_frac > 0.8 {
+            return Err(Error::invalid_config("load+store fraction too high"));
+        }
+        frac("stack_frac", self.stack_frac)?;
+        frac("global_frac", self.global_frac)?;
+        frac("kind_frac", self.kind_frac)?;
+        // 0.22 is the fixed hot-frame fraction carved out by the walk.
+        if self.stack_frac + self.global_frac + self.kind_frac + 0.22 > 1.0 {
+            return Err(Error::invalid_config("memory region fractions exceed 1"));
+        }
+        frac("streaming_frac", self.streaming_frac)?;
+        frac("chained_frac", self.chained_frac)?;
+        if self.global_bytes == 0 || self.kind_bytes == 0 || self.heap_per_event == 0 {
+            return Err(Error::invalid_config("data regions must be non-empty"));
+        }
+        if self.mean_burst < 1.0 {
+            return Err(Error::invalid_config("mean_burst must be at least 1"));
+        }
+        if !(self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(Error::invalid_config("utilization must be in (0,1]"));
+        }
+        frac("p_divergence", self.p_divergence)?;
+        frac("p_order_mispredict", self.p_order_mispredict)?;
+        Ok(())
+    }
+
+    /// Expected events in the run, from the instruction budget and the
+    /// mean event length (at least 4).
+    pub fn expected_events(&self) -> u64 {
+        (self.target_instructions / self.mean_event_len).max(4)
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams::web_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        WorkloadParams::web_default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        let mut p = WorkloadParams::web_default();
+        p.load_frac = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadParams::web_default();
+        p.load_frac = 0.7;
+        p.store_frac = 0.3;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadParams::web_default();
+        p.utilization = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadParams::web_default();
+        p.stack_frac = 0.5;
+        p.global_frac = 0.4;
+        p.kind_frac = 0.2;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadParams::web_default();
+        p.code_footprint_bytes = 1024;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadParams::web_default();
+        p.call_frac = 0.5;
+        p.dispatch_frac = 0.3;
+        p.loop_frac = 0.2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn expected_events_floor() {
+        let mut p = WorkloadParams::web_default();
+        p.target_instructions = 1000;
+        p.mean_event_len = 30_000;
+        assert_eq!(p.expected_events(), 4);
+        p.target_instructions = 300_000;
+        assert_eq!(p.expected_events(), 10);
+    }
+}

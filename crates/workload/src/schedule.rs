@@ -1,0 +1,237 @@
+//! Event schedules: lengths, kinds, seeds, arrivals, divergence.
+
+use crate::WorkloadParams;
+use esp_types::{Cycle, EventKindId, Rng, SplitMix64, Xoshiro256pp};
+
+/// Everything the generator needs to know about one dynamic event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventDetail {
+    /// Position in posting order (== `EventId` index).
+    pub index: u64,
+    /// Handler kind.
+    pub kind: EventKindId,
+    /// Seed of the event's dynamic decisions.
+    pub seed: u64,
+    /// Dynamic instruction count.
+    pub len: u64,
+    /// If `Some(i)`, a speculative pre-execution diverges from the real
+    /// stream after `i` instructions.
+    pub diverge_at: Option<u64>,
+    /// Whether the runtime's order prediction fails for this event
+    /// (§4.5): pre-gathered lists must be discarded.
+    pub order_mispredicted: bool,
+}
+
+/// A complete schedule: per-event details plus posting times.
+///
+/// Arrivals come in bursts (user input and network responses cluster), so
+/// the software event queue usually holds events for ESP to peek at, with
+/// occasional idle gaps — matching the §2.2 observation that events wait
+/// tens of microseconds before being dequeued.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    details: Vec<EventDetail>,
+    post_times: Vec<Cycle>,
+    total_len: u64,
+}
+
+/// Approximate CPI used only to convert instruction counts into arrival
+/// gaps when building the schedule.
+const PLANNING_CPI: f64 = 1.5;
+
+impl Schedule {
+    /// Builds the schedule for `params` from `seed`.
+    ///
+    /// Event lengths are log-normal with mean `params.mean_event_len`
+    /// (clamped to `[200, 50 * mean]`); events are appended until the
+    /// instruction budget is met, with at least four events.
+    pub fn build(params: &WorkloadParams, seed: u64) -> Self {
+        let mut rng = Xoshiro256pp::seed_from_u64(SplitMix64::derive(seed, 0x5CED));
+        let sigma = params.event_len_sigma;
+        let mean = params.mean_event_len as f64;
+        // Mean of lognormal(mu, sigma) is exp(mu + sigma^2/2).
+        let mu = mean.ln() - sigma * sigma / 2.0;
+
+        let mut details = Vec::new();
+        let mut total_len = 0u64;
+        while total_len < params.target_instructions || details.len() < 4 {
+            let index = details.len() as u64;
+            let len = rng
+                .log_normal(mu, sigma)
+                .clamp(200.0, 50.0 * mean) as u64;
+            // Event kinds are zipf-ish within the current page phase:
+            // low kind ids are frequent; each phase uses a fresh kind
+            // set, modelling navigation to a new page.
+            let phase = index as u32 / params.events_per_phase;
+            let z = rng.unit_f64();
+            let kind = ((z * z) * params.event_kinds as f64) as u32;
+            let kind =
+                EventKindId::new(phase * params.event_kinds + kind.min(params.event_kinds - 1));
+            let seed_e = SplitMix64::derive(seed ^ 0xE7E7, index);
+            let diverge_at = if rng.chance(params.p_divergence) {
+                Some(rng.below(len.max(2)))
+            } else {
+                None
+            };
+            let order_mispredicted = rng.chance(params.p_order_mispredict);
+            details.push(EventDetail { index, kind, seed: seed_e, len, diverge_at, order_mispredicted });
+            total_len += len;
+        }
+
+        // Bursty arrivals: a burst of events posts at one instant; the
+        // next burst arrives when ~(burst work)/utilization has elapsed.
+        let mut post_times = Vec::with_capacity(details.len());
+        let mut t = 0.0f64;
+        let mut i = 0usize;
+        while i < details.len() {
+            let burst = 1 + rng.below((2.0 * params.mean_burst) as u64).max(0) as usize;
+            let burst_end = (i + burst).min(details.len());
+            let mut burst_work = 0u64;
+            for d in &details[i..burst_end] {
+                post_times.push(Cycle::new(t as u64));
+                burst_work += d.len;
+            }
+            t += burst_work as f64 * PLANNING_CPI / params.utilization;
+            i = burst_end;
+        }
+        Schedule { details, post_times, total_len }
+    }
+
+    /// Per-event generation details, in posting order.
+    pub fn details(&self) -> &[EventDetail] {
+        &self.details
+    }
+
+    /// Posting time of event `index`.
+    pub fn post_time(&self, index: usize) -> Cycle {
+        self.post_times[index]
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Whether the schedule is empty (never true for built schedules).
+    pub fn is_empty(&self) -> bool {
+        self.details.is_empty()
+    }
+
+    /// Total dynamic instructions across all events.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::web_default()
+    }
+
+    #[test]
+    fn meets_instruction_budget() {
+        let s = Schedule::build(&params(), 1);
+        assert!(s.total_instructions() >= params().target_instructions);
+        assert!(s.len() >= 4);
+        assert_eq!(s.details().len(), s.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Schedule::build(&params(), 5);
+        let b = Schedule::build(&params(), 5);
+        assert_eq!(a.details(), b.details());
+        let c = Schedule::build(&params(), 6);
+        assert_ne!(a.details(), c.details());
+    }
+
+    #[test]
+    fn mean_length_is_close() {
+        let mut p = params();
+        p.target_instructions = 3_000_000;
+        p.mean_event_len = 20_000;
+        let s = Schedule::build(&p, 2);
+        let mean = s.total_instructions() as f64 / s.len() as f64;
+        assert!(
+            (10_000.0..40_000.0).contains(&mean),
+            "mean event length {mean}"
+        );
+    }
+
+    #[test]
+    fn lengths_are_heavy_tailed() {
+        let mut p = params();
+        p.target_instructions = 3_000_000;
+        let s = Schedule::build(&p, 3);
+        let mut lens: Vec<u64> = s.details().iter().map(|d| d.len).collect();
+        lens.sort_unstable();
+        let median = lens[lens.len() / 2];
+        let mean = s.total_instructions() / s.len() as u64;
+        assert!(median < mean, "median {median} !< mean {mean}");
+    }
+
+    #[test]
+    fn post_times_are_monotonic_and_bursty() {
+        let s = Schedule::build(&params(), 4);
+        let mut bursts = 0;
+        for i in 1..s.len() {
+            assert!(s.post_time(i) >= s.post_time(i - 1));
+            if s.post_time(i) == s.post_time(i - 1) {
+                bursts += 1;
+            }
+        }
+        assert!(bursts > 0, "expected at least one same-instant burst");
+    }
+
+    #[test]
+    fn divergence_rate_is_close_to_p() {
+        let mut p = params();
+        p.target_instructions = 100_000;
+        p.mean_event_len = 500;
+        p.p_divergence = 0.10;
+        let s = Schedule::build(&p, 7);
+        let diverging = s.details().iter().filter(|d| d.diverge_at.is_some()).count();
+        let rate = diverging as f64 / s.len() as f64;
+        assert!((0.05..0.18).contains(&rate), "rate={rate}");
+        // Divergence points are within the event.
+        for d in s.details() {
+            if let Some(at) = d.diverge_at {
+                assert!(at < d.len);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_are_skewed_within_phases() {
+        let mut p = params();
+        p.target_instructions = 200_000;
+        p.mean_event_len = 1000;
+        let s = Schedule::build(&p, 8);
+        // Within a phase, kind ids are phase-local and zipf-skewed.
+        let mut counts = vec![0u32; p.event_kinds as usize];
+        for d in s.details().iter().take(p.events_per_phase as usize) {
+            counts[(d.kind.index() % p.event_kinds) as usize] += 1;
+        }
+        assert!(counts.iter().max().unwrap() > counts.iter().min().unwrap());
+    }
+
+    #[test]
+    fn phases_rotate_kind_sets() {
+        let mut p = params();
+        p.target_instructions = 100_000;
+        p.mean_event_len = 1000;
+        p.events_per_phase = 10;
+        let s = Schedule::build(&p, 9);
+        let phase_of = |d: &EventDetail| d.kind.index() / p.event_kinds;
+        assert_eq!(phase_of(&s.details()[0]), 0);
+        let last = s.details().last().unwrap();
+        assert!(phase_of(last) > 0, "long schedules must span phases");
+        // Phase boundaries follow event indices.
+        for d in s.details() {
+            assert_eq!(phase_of(d), d.index as u32 / p.events_per_phase);
+        }
+    }
+}

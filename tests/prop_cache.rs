@@ -1,0 +1,126 @@
+//! Property tests: the set-associative cache against a reference model.
+
+use event_sneak_peek::mem::{AccessResult, CacheConfig, SetAssocCache};
+use event_sneak_peek::types::{Cycle, LineAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A trivially-correct reference: per-set LRU lists over a hash map.
+struct ReferenceCache {
+    sets: usize,
+    ways: usize,
+    // set index -> ordered (MRU first) list of tags.
+    contents: HashMap<u64, Vec<u64>>,
+}
+
+impl ReferenceCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        ReferenceCache { sets, ways, contents: HashMap::new() }
+    }
+
+    fn set_and_tag(&self, line: u64) -> (u64, u64) {
+        (line % self.sets as u64, line / self.sets as u64)
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let (s, t) = self.set_and_tag(line);
+        let set = self.contents.entry(s).or_default();
+        if let Some(pos) = set.iter().position(|&x| x == t) {
+            set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, line: u64) {
+        let (s, t) = self.set_and_tag(line);
+        let ways = self.ways;
+        let set = self.contents.entry(s).or_default();
+        if let Some(pos) = set.iter().position(|&x| x == t) {
+            set.remove(pos);
+        } else if set.len() == ways {
+            set.pop();
+        }
+        set.insert(0, t);
+    }
+}
+
+fn small_cache() -> SetAssocCache {
+    // 8 sets x 4 ways.
+    SetAssocCache::new(CacheConfig {
+        name: "prop".into(),
+        size_bytes: 8 * 4 * 64,
+        ways: 4,
+        line_bytes: 64,
+        hit_latency: 2,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Demand-access-with-fill sequences hit/miss identically to the
+    /// reference LRU model.
+    #[test]
+    fn matches_reference_lru(lines in prop::collection::vec(0u64..64, 1..300)) {
+        let mut cache = small_cache();
+        let mut reference = ReferenceCache::new(8, 4);
+        for (i, &l) in lines.iter().enumerate() {
+            let now = Cycle::new(i as u64 * 10);
+            let got = cache.access(LineAddr::new(l), now).is_hit();
+            let want = reference.access(l);
+            prop_assert_eq!(got, want, "access #{} line {}", i, l);
+            if !got {
+                cache.fill(LineAddr::new(l), now, now, false);
+                reference.fill(l);
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity and probes agree with accesses.
+    #[test]
+    fn occupancy_and_probe_consistency(lines in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut cache = small_cache();
+        for (i, &l) in lines.iter().enumerate() {
+            let now = Cycle::new(i as u64);
+            cache.fill(LineAddr::new(l), now, now, false);
+            prop_assert!(cache.occupancy() <= 32);
+            prop_assert!(cache.probe(LineAddr::new(l)), "just-filled line must be resident");
+        }
+    }
+
+    /// A partial hit is only reported while the fill is in flight, and
+    /// its latency never exceeds the fill distance.
+    #[test]
+    fn partial_hit_latencies(delay in 1u64..500, probe_at in 0u64..600) {
+        let mut cache = small_cache();
+        let l = LineAddr::new(7);
+        cache.fill(l, Cycle::ZERO, Cycle::new(delay), false);
+        match cache.access(l, Cycle::new(probe_at)) {
+            AccessResult::Hit(lat) => {
+                prop_assert!(probe_at >= delay);
+                prop_assert_eq!(lat, 2);
+            }
+            AccessResult::PartialHit(lat) => {
+                prop_assert!(probe_at < delay);
+                prop_assert!(lat >= 2);
+                prop_assert!(lat <= delay.max(2));
+            }
+            AccessResult::Miss => prop_assert!(false, "line must be resident"),
+        }
+    }
+
+    /// Invalidation removes exactly the target line.
+    #[test]
+    fn invalidate_is_precise(a in 0u64..64, b in 0u64..64) {
+        prop_assume!(a != b);
+        let mut cache = small_cache();
+        cache.fill(LineAddr::new(a), Cycle::ZERO, Cycle::ZERO, false);
+        cache.fill(LineAddr::new(b), Cycle::ZERO, Cycle::ZERO, false);
+        prop_assert!(cache.invalidate(LineAddr::new(a)));
+        prop_assert!(!cache.probe(LineAddr::new(a)));
+        prop_assert!(cache.probe(LineAddr::new(b)));
+    }
+}

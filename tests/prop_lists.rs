@@ -1,0 +1,110 @@
+//! Property tests for the ESP prediction lists.
+
+use event_sneak_peek::lists::{AddrList, BList};
+use event_sneak_peek::trace::Instr;
+use event_sneak_peek::types::{Addr, LineAddr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Recorded address runs decode back to a subsequence of the input:
+    /// every line covered by a record was actually recorded, in order,
+    /// with non-decreasing instruction counts.
+    #[test]
+    fn addr_list_decodes_faithfully(
+        lines in prop::collection::vec(0u64..100_000, 1..400),
+    ) {
+        let mut list = AddrList::new(499);
+        let mut accepted: Vec<u64> = Vec::new();
+        for (i, &l) in lines.iter().enumerate() {
+            if list.record(LineAddr::new(l), i as u64 * 3) {
+                accepted.push(l);
+            }
+        }
+        // Every decoded line must appear in the accepted input, and the
+        // record icounts must be monotonic.
+        let mut last_icount = 0;
+        for rec in list.records() {
+            prop_assert!(rec.icount >= last_icount);
+            last_icount = rec.icount;
+            for line in rec.lines() {
+                prop_assert!(
+                    accepted.contains(&line.as_u64()),
+                    "decoded line {} never recorded", line.as_u64()
+                );
+            }
+        }
+        // Bit accounting is within capacity.
+        prop_assert!(list.used_bits() <= list.capacity_bits());
+    }
+
+    /// Promotion never loses records and never shrinks capacity usage.
+    #[test]
+    fn addr_list_promotion_preserves(lines in prop::collection::vec(0u64..5_000, 1..200)) {
+        let mut list = AddrList::new(68);
+        for (i, &l) in lines.iter().enumerate() {
+            list.record(LineAddr::new(l), i as u64);
+        }
+        let before: Vec<_> = list.records().to_vec();
+        let used = list.used_bits();
+        let promoted = list.promoted(499);
+        prop_assert_eq!(promoted.records(), &before[..]);
+        prop_assert_eq!(promoted.used_bits(), used);
+        prop_assert!(!promoted.is_full());
+    }
+
+    /// The list never accepts more entries than its bit capacity allows
+    /// (worst case: every entry is a 3x19-bit escape).
+    #[test]
+    fn addr_list_capacity_bound(seed in 0u64..1_000) {
+        let mut list = AddrList::new(68); // 544 bits
+        let mut accepted = 0u64;
+        // Far-apart lines force escape entries.
+        for i in 0..200u64 {
+            if list.record(LineAddr::new(seed + i * 100_000), i) {
+                accepted += 1;
+            }
+        }
+        // 544 / 19 = 28 entries absolute upper bound.
+        prop_assert!(accepted <= 28, "accepted {}", accepted);
+        prop_assert!(list.is_full());
+    }
+
+    /// B-list records preserve branch pcs, directions, and icounts.
+    #[test]
+    fn blist_decodes_faithfully(
+        branches in prop::collection::vec((0u64..1_000u64, any::<bool>()), 1..200),
+    ) {
+        let mut b = BList::new(566, 41);
+        let mut accepted = Vec::new();
+        for (i, &(pc_slot, taken)) in branches.iter().enumerate() {
+            let pc = Addr::new(0x1000 + pc_slot * 4);
+            let instr = Instr::cond_branch(pc, taken, Addr::new(0x9000));
+            if b.record(&instr, i as u64) {
+                accepted.push((pc, taken, i as u64));
+            }
+        }
+        prop_assert_eq!(b.records().len(), accepted.len());
+        for (rec, (pc, taken, icount)) in b.records().iter().zip(&accepted) {
+            prop_assert_eq!(rec.pc, *pc);
+            prop_assert_eq!(rec.taken, *taken);
+            prop_assert_eq!(rec.icount, *icount);
+        }
+    }
+
+    /// Indirect targets beyond the B-List-Target capacity are dropped but
+    /// directions keep recording.
+    #[test]
+    fn blist_target_capacity(n in 1usize..120) {
+        let mut b = BList::new(10_000, 41); // huge direction list, paper-size target list
+        for i in 0..n as u64 {
+            let instr = Instr::indirect_call(Addr::new(0x1000 + i * 8), Addr::new(0x2000 + i * 8));
+            prop_assert!(b.record(&instr, i));
+        }
+        let with_target = b.records().iter().filter(|r| r.target.is_some()).count();
+        // 41 B = 328 bits; near targets cost 17 bits → at most 19 targets.
+        prop_assert!(with_target <= 19, "targets {}", with_target);
+        prop_assert_eq!(b.records().len(), n);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests on the workload generator and the predictor's
+//! robustness under arbitrary inputs.
+
+use event_sneak_peek::branch::{BranchConfig, BranchPredictor, ContextPolicy, PredictorContext};
+use event_sneak_peek::trace::{record_stream, Instr, Workload};
+use event_sneak_peek::types::{Addr, Rng as _, Xoshiro256pp};
+use event_sneak_peek::workload::{GeneratedWorkload, WorkloadParams};
+use proptest::prelude::*;
+
+fn small_workload(seed: u64) -> GeneratedWorkload {
+    let mut p = WorkloadParams::web_default();
+    p.target_instructions = 30_000;
+    p.mean_event_len = 3_000;
+    p.code_footprint_bytes = 256 * 1024;
+    GeneratedWorkload::generate(p, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any seed: streams regenerate identically, control flow is
+    /// consistent, and forked cursors continue exactly like the original.
+    #[test]
+    fn walks_are_deterministic_and_consistent(seed in 0u64..10_000) {
+        let w = small_workload(seed);
+        let id = w.events()[0].id;
+        let a = record_stream(&mut *w.actual_stream(id), 2_000);
+        let b = record_stream(&mut *w.actual_stream(id), 2_000);
+        prop_assert_eq!(&a, &b);
+        // Control-flow consistency.
+        for pair in a.windows(2) {
+            prop_assert_eq!(pair[0].next_pc(), pair[1].pc);
+        }
+        // Fork mid-stream and compare continuations.
+        let mut s = w.actual_stream(id);
+        record_stream(&mut *s, 500);
+        let rest_fork = {
+            let mut forked = s.fork();
+            record_stream(&mut *forked, 500)
+        };
+        let rest_orig = record_stream(&mut *s, 500);
+        prop_assert_eq!(rest_orig, rest_fork);
+    }
+
+    /// Speculative views match actual views exactly up to the declared
+    /// divergence point for every event.
+    #[test]
+    fn speculative_views_match_prefix(seed in 0u64..10_000) {
+        let w = small_workload(seed);
+        for ev in w.events().iter().take(4) {
+            let detail = &w.schedule().details()[ev.id.index() as usize];
+            let a = record_stream(&mut *w.actual_stream(ev.id), 1_500);
+            let s = record_stream(&mut *w.speculative_stream(ev.id), 1_500);
+            let check = match detail.diverge_at {
+                None => a.len(),
+                Some(at) => (at as usize).min(a.len()),
+            };
+            prop_assert_eq!(&a[..check], &s[..check]);
+        }
+    }
+
+    /// Event budgets are exact: each stream yields exactly `approx_len`
+    /// instructions.
+    #[test]
+    fn event_lengths_are_exact(seed in 0u64..10_000) {
+        let w = small_workload(seed);
+        for ev in w.events().iter().take(3) {
+            let got = record_stream(&mut *w.actual_stream(ev.id), usize::MAX);
+            prop_assert_eq!(got.len() as u64, ev.approx_len);
+        }
+    }
+
+    /// The predictor never panics and keeps sane statistics on completely
+    /// arbitrary branch streams.
+    #[test]
+    fn predictor_survives_arbitrary_streams(seed in 0u64..10_000, n in 100usize..1_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut bp = BranchPredictor::new(BranchConfig::pentium_m(), ContextPolicy::SeparatePir);
+        for _ in 0..n {
+            let pc = Addr::new(rng.below(1 << 20) << 2);
+            let target = Addr::new(rng.below(1 << 20) << 2);
+            let instr = match rng.below(5) {
+                0 => Instr::cond_branch(pc, rng.chance(0.5), target),
+                1 => Instr::indirect(pc, target),
+                2 => Instr::indirect_call(pc, target),
+                3 => Instr::call(pc, target),
+                _ => Instr::ret(pc, target),
+            };
+            let ctx = match rng.below(3) {
+                0 => PredictorContext::Normal,
+                1 => PredictorContext::Esp1,
+                _ => PredictorContext::Esp2,
+            };
+            bp.predict_and_update(ctx, &instr);
+            if rng.chance(0.05) {
+                bp.promote_event();
+            }
+            if rng.chance(0.02) {
+                bp.clear_ras();
+            }
+        }
+        let total: u64 = [PredictorContext::Normal, PredictorContext::Esp1, PredictorContext::Esp2]
+            .iter()
+            .map(|&c| bp.stats(c).total())
+            .sum();
+        prop_assert_eq!(total, n as u64);
+    }
+}
