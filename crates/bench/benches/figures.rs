@@ -1,19 +1,35 @@
-//! Criterion benches timing the regeneration of each figure at a small
-//! scale — a performance regression net for the whole simulator stack
-//! (the per-figure simulation results themselves come from the `repro`
-//! binary).
+//! Plain timing harness (no external bench framework — the build runs
+//! offline) timing the regeneration of each figure at a small scale: a
+//! performance regression net for the whole simulator stack. Run with
+//! `cargo bench -p esp-bench --bench figures [-- ITERS]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use esp_bench::{figures, Runner};
 use std::hint::black_box;
+use std::time::Instant;
 
 /// Instruction budget per benchmark when timing figures. Small on
-/// purpose: Criterion runs each figure many times.
+/// purpose: each figure is regenerated several times.
 const BENCH_SCALE: u64 = 30_000;
+const DEFAULT_ITERS: u32 = 3;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    // One warm-up, then report the minimum of `iters` timed runs (the
+    // least-noise estimator for deterministic workloads).
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("{name:<24} {:>10.3} ms/iter (min of {iters})", best * 1e3);
+}
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
     let cases: Vec<(&str, fn(&mut Runner) -> esp_bench::FigureReport)> = vec![
         ("fig3_potential", figures::fig3),
         ("fig9_esp_vs_runahead", figures::fig9),
@@ -24,18 +40,13 @@ fn bench_figures(c: &mut Criterion) {
         ("fig13_working_sets", figures::fig13),
         ("fig14_energy", figures::fig14),
     ];
+    println!("figures @ scale {BENCH_SCALE}, {} threads", esp_par::threads());
     for (name, f) in cases {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                // A fresh runner per iteration: the cache would otherwise
-                // make every iteration after the first free.
-                let mut runner = Runner::new(BENCH_SCALE, 7);
-                black_box(f(&mut runner))
-            })
+        time(name, iters, || {
+            // A fresh runner per iteration: the cache would otherwise
+            // make every iteration after the first free.
+            let mut runner = Runner::new(BENCH_SCALE, 7);
+            f(&mut runner)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

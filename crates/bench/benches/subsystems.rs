@@ -1,90 +1,95 @@
-//! Criterion benches for the individual simulator substrates: how fast
-//! the cache model, branch predictor, workload generator, and the
-//! end-to-end simulator execute on this host.
+//! Plain timing harness (no external bench framework — the build runs
+//! offline) for the individual simulator substrates: how fast the cache
+//! model, branch predictor, workload generator, and the end-to-end
+//! simulator execute on this host. Run with
+//! `cargo bench -p esp-bench --bench subsystems [-- ITERS]`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use esp_core::{SimConfig, Simulator};
 use esp_workload::BenchmarkProfile;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_cache(c: &mut Criterion) {
-    use esp_mem::{CacheConfig, SetAssocCache};
-    use esp_types::{Cycle, LineAddr};
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("l1_access_stream", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::l1_32k("L1"));
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..10_000 {
-                // A mix of hits and conflict misses across 1024 lines.
-                let line = LineAddr::new((i * 769) % 1024);
-                if !cache.access(line, Cycle::new(i)).is_hit() {
-                    cache.fill(line, Cycle::new(i), Cycle::new(i), false);
-                }
-                i += 1;
-            }
-            black_box(cache.occupancy())
-        })
-    });
-    group.finish();
+const DEFAULT_ITERS: u32 = 5;
+
+/// Times `f` and prints throughput for `elements` units of work per call.
+fn time<R>(name: &str, iters: u32, elements: u64, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let rate = if best > 0.0 { elements as f64 / best } else { 0.0 };
+    println!("{name:<24} {:>10.3} ms/iter  {:>12.0} elems/s (min of {iters})", best * 1e3, rate);
 }
 
-fn bench_branch(c: &mut Criterion) {
+fn bench_cache(iters: u32) {
+    use esp_mem::{CacheConfig, SetAssocCache};
+    use esp_types::{Cycle, LineAddr};
+    let mut cache = SetAssocCache::new(CacheConfig::l1_32k("L1"));
+    let mut i = 0u64;
+    time("cache/l1_access_stream", iters, 10_000, || {
+        for _ in 0..10_000 {
+            // A mix of hits and conflict misses across 1024 lines.
+            let line = LineAddr::new((i * 769) % 1024);
+            if !cache.access(line, Cycle::new(i)).is_hit() {
+                cache.fill(line, Cycle::new(i), Cycle::new(i), false);
+            }
+            i += 1;
+        }
+        cache.occupancy()
+    });
+}
+
+fn bench_branch(iters: u32) {
     use esp_branch::{BranchConfig, BranchPredictor, ContextPolicy, PredictorContext};
     use esp_trace::Instr;
     use esp_types::Addr;
-    let mut group = c.benchmark_group("branch");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("predict_update_stream", |b| {
-        let mut bp = BranchPredictor::new(BranchConfig::pentium_m(), ContextPolicy::SeparatePir);
-        let mut i = 0u64;
-        b.iter(|| {
-            let mut correct = 0u32;
-            for _ in 0..10_000 {
-                let pc = Addr::new(0x1000 + (i % 512) * 24);
-                let taken = (i / 7) % 3 != 0;
-                let instr = Instr::cond_branch(pc, taken, Addr::new(0x4000));
-                if bp.predict_and_update(PredictorContext::Normal, &instr).is_correct() {
-                    correct += 1;
-                }
-                i += 1;
+    let mut bp = BranchPredictor::new(BranchConfig::pentium_m(), ContextPolicy::SeparatePir);
+    let mut i = 0u64;
+    time("branch/predict_update", iters, 10_000, || {
+        let mut correct = 0u32;
+        for _ in 0..10_000 {
+            let pc = Addr::new(0x1000 + (i % 512) * 24);
+            let taken = (i / 7) % 3 != 0;
+            let instr = Instr::cond_branch(pc, taken, Addr::new(0x4000));
+            if bp.predict_and_update(PredictorContext::Normal, &instr).is_correct() {
+                correct += 1;
             }
-            black_box(correct)
-        })
+            i += 1;
+        }
+        correct
     });
-    group.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
+fn bench_workload(iters: u32) {
     use esp_trace::{record_stream, Workload};
-    let mut group = c.benchmark_group("workload");
     let w = BenchmarkProfile::amazon().scaled(100_000).build(3);
     let id = w.events()[0].id;
-    group.throughput(Throughput::Elements(20_000));
-    group.bench_function("walk_generation", |b| {
-        b.iter(|| {
-            let mut s = w.actual_stream(id);
-            black_box(record_stream(&mut *s, 20_000).len())
-        })
+    time("workload/walk_generation", iters, 20_000, || {
+        let mut s = w.actual_stream(id);
+        record_stream(&mut *s, 20_000).len()
     });
-    group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn bench_simulator(iters: u32) {
     let w = BenchmarkProfile::amazon().scaled(60_000).build(3);
     for (name, cfg) in [
-        ("baseline_60k", SimConfig::next_line()),
-        ("esp_nl_60k", SimConfig::esp_nl()),
+        ("simulator/baseline_60k", SimConfig::next_line()),
+        ("simulator/esp_nl_60k", SimConfig::esp_nl()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(Simulator::new(cfg.clone()).run(&w)).total_cycles)
-        });
+        time(name, iters, 60_000, || Simulator::new(cfg.clone()).run(&w).total_cycles);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_branch, bench_workload, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    let iters: u32 = std::env::args()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    bench_cache(iters);
+    bench_branch(iters);
+    bench_workload(iters);
+    bench_simulator(iters);
+}

@@ -5,6 +5,9 @@
 //! the paper fixes by fiat (the 190-instruction prefetch lead of §3.6,
 //! the ~30-branch training lead, the depth-2 limit of §3.1, the
 //! 70-instruction looper window) and show each sits on a plateau or knee.
+//! Each sweep fans its simulation points out over [`esp_par`] worker
+//! threads; runs share only the immutable workload, so results are
+//! thread-count-independent.
 
 use crate::runner::FigureReport;
 use esp_core::{RunReport, SimConfig, SimMode, Simulator};
@@ -26,10 +29,14 @@ fn run(cfg: SimConfig, w: &esp_workload::GeneratedWorkload) -> RunReport {
 /// Sweeps the list-prefetch lead distance (§3.6 fixes 190).
 pub fn prefetch_lead(scale: u64, seed: u64) -> FigureReport {
     let w = BenchmarkProfile::amazon().scaled(scale).build(seed);
-    let nl = run(SimConfig::next_line(), &w);
+    const LEADS: [u64; 5] = [16, 64, 190, 500, 1500];
+    // One job per sweep point plus the NL baseline, all on the pool.
+    let mut configs = vec![SimConfig::next_line()];
+    configs.extend(LEADS.iter().map(|&lead| esp_with(|f| f.prefetch_lead_instrs = lead)));
+    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &w));
+    let nl = &reports[0];
     let mut t = Table::with_headers(&["lead (instrs)", "speedup over NL %", "I-MPKI"]);
-    for lead in [16u64, 64, 190, 500, 1500] {
-        let r = run(esp_with(|f| f.prefetch_lead_instrs = lead), &w);
+    for (lead, r) in LEADS.iter().zip(&reports[1..]) {
         t.push_row(vec![
             lead.to_string(),
             format!("{:.2}", improvement_pct(nl.busy_cycles(), r.busy_cycles())),
@@ -52,9 +59,12 @@ pub fn prefetch_lead(scale: u64, seed: u64) -> FigureReport {
 /// ahead ... neither too far in the future nor too short").
 pub fn bp_train_lead(scale: u64, seed: u64) -> FigureReport {
     let w = BenchmarkProfile::cnn().scaled(scale).build(seed);
+    const LEADS: [u64; 5] = [2, 10, 30, 100, 400];
+    let reports = esp_par::parallel_map(esp_par::threads(), &LEADS, |_, &lead| {
+        run(esp_with(|f| f.bp_train_lead_branches = lead), &w)
+    });
     let mut t = Table::with_headers(&["lead (branches)", "mispredict %"]);
-    for lead in [2u64, 10, 30, 100, 400] {
-        let r = run(esp_with(|f| f.bp_train_lead_branches = lead), &w);
+    for (lead, r) in LEADS.iter().zip(&reports) {
         t.push_row(vec![lead.to_string(), format!("{:.3}", r.mispredict_rate_pct())]);
     }
     FigureReport {
@@ -68,15 +78,17 @@ pub fn bp_train_lead(scale: u64, seed: u64) -> FigureReport {
 /// Sweeps the jump-ahead depth (§3.1 fixes 2).
 pub fn depth(scale: u64, seed: u64) -> FigureReport {
     let w = BenchmarkProfile::facebook().scaled(scale).build(seed);
-    let nl = run(SimConfig::next_line(), &w);
+    let mut configs = vec![SimConfig::next_line()];
+    configs.extend((1usize..=4).map(|d| esp_with(|f| f.depth = d)));
+    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &w));
+    let nl = &reports[0];
     let mut t = Table::with_headers(&[
         "depth",
         "speedup over NL %",
         "pre-executed %",
         "instrs at deepest level",
     ]);
-    for d in 1usize..=4 {
-        let r = run(esp_with(|f| f.depth = d), &w);
+    for (d, r) in (1usize..=4).zip(&reports[1..]) {
         t.push_row(vec![
             d.to_string(),
             format!("{:.2}", improvement_pct(nl.busy_cycles(), r.busy_cycles())),
@@ -99,16 +111,23 @@ pub fn depth(scale: u64, seed: u64) -> FigureReport {
 /// Sweeps the looper prologue length (§3.6 observes ~70 instructions).
 pub fn looper_window(scale: u64, seed: u64) -> FigureReport {
     let w = BenchmarkProfile::bing().scaled(scale).build(seed);
+    const WINDOWS: [u32; 4] = [0, 20, 70, 200];
+    // Keep the baseline comparable: same looper cost on both sides —
+    // one (NL, ESP) config pair per sweep point, all on the pool.
+    let configs: Vec<SimConfig> = WINDOWS
+        .iter()
+        .flat_map(|&n| {
+            let mut nl_cfg = SimConfig::next_line();
+            nl_cfg.looper_instrs = n;
+            let mut cfg = SimConfig::esp_nl();
+            cfg.looper_instrs = n;
+            [nl_cfg, cfg]
+        })
+        .collect();
+    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &w));
     let mut t = Table::with_headers(&["looper instrs", "speedup over NL %"]);
-    let nl = run(SimConfig::next_line(), &w);
-    for n in [0u32, 20, 70, 200] {
-        let mut cfg = SimConfig::esp_nl();
-        cfg.looper_instrs = n;
-        // Keep the baseline comparable: same looper cost on both sides.
-        let mut nl_cfg = SimConfig::next_line();
-        nl_cfg.looper_instrs = n;
-        let nl_r = if n == 70 { nl.clone() } else { run(nl_cfg, &w) };
-        let r = run(cfg, &w);
+    for (k, n) in WINDOWS.iter().enumerate() {
+        let (nl_r, r) = (&reports[2 * k], &reports[2 * k + 1]);
         t.push_row(vec![
             n.to_string(),
             format!("{:.2}", improvement_pct(nl_r.busy_cycles(), r.busy_cycles())),

@@ -1,19 +1,27 @@
 //! Regenerates the paper's figures and tables.
 //!
 //! ```text
-//! repro [--scale N] [--seed S] all
+//! repro [--scale N] [--seed S] [--threads T] all
 //! repro [--scale N] [--seed S] fig9 fig11a ...
 //! ```
 //!
 //! `--scale` is the per-benchmark instruction budget (default 400 000);
-//! larger scales sharpen the numbers at the cost of runtime.
+//! larger scales sharpen the numbers at the cost of runtime. Simulations
+//! fan out across worker threads (`--threads`, or the `ESP_THREADS`
+//! environment variable, defaulting to the machine's parallelism); every
+//! run is deterministic, so the reports are identical for any thread
+//! count. Each phase prints its wall-clock time, and a `BENCH_repro.json`
+//! with the run's throughput is written next to the output so the perf
+//! trajectory can be tracked across revisions.
 
 use esp_bench::{figures, Runner};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut scale: u64 = 400_000;
     let mut seed: u64 = 42;
+    let mut threads: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -27,6 +35,10 @@ fn main() -> ExitCode {
                 Some(v) => seed = v,
                 None => return usage("--seed needs an integer"),
             },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => threads = Some(v),
+                _ => return usage("--threads needs a positive integer"),
+            },
             "--help" | "-h" => return usage(""),
             other => wanted.push(other.to_string()),
         }
@@ -34,29 +46,75 @@ fn main() -> ExitCode {
     if wanted.is_empty() {
         return usage("no figure selected");
     }
+    // Validate every name up front so a typo fails before any workload
+    // generation or simulation happens.
+    for name in &wanted {
+        if name != "all" && name != "ablate" {
+            if let Err(e) = figures::by_name(name) {
+                return usage(&e.to_string());
+            }
+        }
+    }
 
-    eprintln!("# generating workloads (scale {scale}, seed {seed})...");
-    let mut runner = Runner::new(scale, seed);
+    let threads = threads.unwrap_or_else(esp_par::threads);
+    let t_start = Instant::now();
+    eprintln!("# generating workloads (scale {scale}, seed {seed}, {threads} threads)...");
+    let mut runner = Runner::with_threads(scale, seed, threads);
+    eprintln!("# workloads ready in {:.2}s", t_start.elapsed().as_secs_f64());
 
     if wanted.iter().any(|w| w == "all") {
-        for report in figures::all(&mut runner) {
+        let t = Instant::now();
+        let reports = figures::all(&mut runner);
+        eprintln!(
+            "# simulated {} runs in {:.2}s",
+            runner.sims_run(),
+            t.elapsed().as_secs_f64()
+        );
+        for report in reports {
             println!("{}", report.render());
         }
+        write_bench_json(&runner, t_start.elapsed().as_secs_f64());
         return ExitCode::SUCCESS;
     }
     for name in &wanted {
+        let t = Instant::now();
         if name == "ablate" {
             for report in esp_bench::ablation::all(scale, seed) {
                 println!("{}", report.render());
             }
+            eprintln!("# ablate in {:.2}s", t.elapsed().as_secs_f64());
             continue;
         }
         match figures::by_name(name) {
-            Ok(f) => println!("{}", f(&mut runner).render()),
+            Ok(f) => {
+                let rendered = f(&mut runner).render();
+                eprintln!("# {name} in {:.2}s", t.elapsed().as_secs_f64());
+                println!("{rendered}");
+            }
             Err(e) => return usage(&e.to_string()),
         }
     }
+    write_bench_json(&runner, t_start.elapsed().as_secs_f64());
     ExitCode::SUCCESS
+}
+
+/// Writes `BENCH_repro.json` so future revisions can track the perf
+/// trajectory of a full regeneration at fixed scale/seed.
+fn write_bench_json(runner: &Runner, total_seconds: f64) {
+    let sims = runner.sims_run();
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"sims_run\": {},\n  \"total_seconds\": {:.3},\n  \"sims_per_sec\": {:.3}\n}}\n",
+        runner.scale(),
+        runner.seed(),
+        runner.threads(),
+        sims,
+        total_seconds,
+        if total_seconds > 0.0 { sims as f64 / total_seconds } else { 0.0 },
+    );
+    match std::fs::write("BENCH_repro.json", &json) {
+        Ok(()) => eprintln!("# wrote BENCH_repro.json ({sims} sims in {total_seconds:.2}s)"),
+        Err(e) => eprintln!("# warning: could not write BENCH_repro.json: {e}"),
+    }
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -64,8 +122,9 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--scale N] [--seed S] <all | fig3 fig6 fig7 fig8 fig9 fig10 \
-         fig11a fig11b fig12 fig13 fig14 | ablate>"
+        "usage: repro [--scale N] [--seed S] [--threads T] <all | fig3 fig6 fig7 fig8 fig9 \
+         fig10 fig11a fig11b fig12 fig13 fig14 | ablate>\n\
+         threads default to ESP_THREADS or the machine's parallelism"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -8,6 +8,11 @@ use esp_trace::Workload;
 use esp_uarch::MachineConfig;
 
 fn improvement_table(runner: &mut Runner, keys: &[ConfigKey], base: ConfigKey) -> Table {
+    // Declare the whole figure's plan up front so the pool executes every
+    // (profile, config) pair of the figure in one parallel batch.
+    let mut plan = keys.to_vec();
+    plan.push(base);
+    runner.ensure(&plan);
     let mut t = Table::new(runner.headers("config"));
     for &k in keys {
         let vals = runner.improvements(k, base);
@@ -198,6 +203,7 @@ pub fn fig10(runner: &mut Runner) -> FigureReport {
         ConfigKey::EspIbNl,
         ConfigKey::EspNl,
     ];
+    runner.ensure(&[keys.as_slice(), &[ConfigKey::Base]].concat());
     let mut table = Table::new(runner.headers("config"));
     for &k in &keys {
         let vals = runner.improvements(k, ConfigKey::Base);
@@ -225,6 +231,7 @@ pub fn fig11a(runner: &mut Runner) -> FigureReport {
         ConfigKey::EspINlI,
         ConfigKey::IdealEspINlI,
     ];
+    runner.ensure(&keys);
     let mut table = Table::new(runner.headers("config"));
     for &k in &keys {
         let vals = runner.metric(k, RunReport::l1i_mpki);
@@ -253,6 +260,7 @@ pub fn fig11b(runner: &mut Runner) -> FigureReport {
         ConfigKey::EspDNlD,
         ConfigKey::IdealEspDNlD,
     ];
+    runner.ensure(&keys);
     let mut table = Table::new(runner.headers("config"));
     for &k in &keys {
         let vals = runner.metric(k, RunReport::l1d_miss_rate_pct);
@@ -279,6 +287,7 @@ pub fn fig12(runner: &mut Runner) -> FigureReport {
         ConfigKey::EspBpSeparateTables,
         ConfigKey::EspNl,
     ];
+    runner.ensure(&keys);
     let mut table = Table::new(runner.headers("config"));
     for &k in &keys {
         let vals = runner.metric(k, RunReport::mispredict_rate_pct);
@@ -299,6 +308,7 @@ pub fn fig12(runner: &mut Runner) -> FigureReport {
 
 /// Fig. 13 — I-cachelet working-set sizes per ESP depth.
 pub fn fig13(runner: &mut Runner) -> FigureReport {
+    runner.ensure(&[ConfigKey::EspDepthProbe]);
     let mut table = Table::with_headers(&["mode", "Max", "95%", "85%", "75%"]);
     // Aggregate working-set samples over all benchmarks.
     let mut normal: Vec<usize> = Vec::new();
@@ -341,6 +351,7 @@ pub fn fig13(runner: &mut Runner) -> FigureReport {
 
 /// Fig. 14 — energy overhead of ESP relative to NL.
 pub fn fig14(runner: &mut Runner) -> FigureReport {
+    runner.ensure(&[ConfigKey::NextLine, ConfigKey::EspNl]);
     let _ = EnergyModel::mcpat_32nm();
     let mut table = Table::with_headers(&[
         "bench",
@@ -384,7 +395,13 @@ pub fn fig14(runner: &mut Runner) -> FigureReport {
 }
 
 /// All figures in presentation order.
+///
+/// Prefills the full evaluation matrix — every [`ConfigKey`] on every
+/// profile — in one parallel batch before rendering, so the whole
+/// regeneration saturates the worker pool instead of fanning out
+/// figure-by-figure.
 pub fn all(runner: &mut Runner) -> Vec<FigureReport> {
+    runner.ensure(ConfigKey::all());
     vec![
         fig3(runner),
         fig6(runner),

@@ -1,4 +1,10 @@
-//! Cached simulation runner shared by all figures.
+//! The plan-then-execute simulation runner shared by all figures.
+//!
+//! Figures declare the `(profile, ConfigKey)` pairs they need via
+//! [`Runner::ensure`]; the runner executes every missing pair across N
+//! worker threads (each simulation is deterministic and independent, so
+//! the fan-out is fidelity-free), and [`Runner::run`] /
+//! [`Runner::improvements`] / [`Runner::metric`] become cache lookups.
 
 use esp_core::{RunReport, SimConfig, Simulator};
 use esp_stats::Table;
@@ -43,6 +49,42 @@ pub enum ConfigKey {
 }
 
 impl ConfigKey {
+    /// Every configuration in the evaluation matrix, in declaration
+    /// order — the full plan for a figure regeneration.
+    pub fn all() -> &'static [ConfigKey] {
+        &[
+            ConfigKey::Base,
+            ConfigKey::NextLine,
+            ConfigKey::NextLineStride,
+            ConfigKey::Runahead,
+            ConfigKey::RunaheadNl,
+            ConfigKey::Esp,
+            ConfigKey::EspNl,
+            ConfigKey::NaiveEsp,
+            ConfigKey::NaiveEspNl,
+            ConfigKey::EspINl,
+            ConfigKey::EspIbNl,
+            ConfigKey::NlIOnly,
+            ConfigKey::NlDOnly,
+            ConfigKey::EspI,
+            ConfigKey::EspINlI,
+            ConfigKey::IdealEspINlI,
+            ConfigKey::RunaheadD,
+            ConfigKey::RunaheadDNlD,
+            ConfigKey::EspD,
+            ConfigKey::EspDNlD,
+            ConfigKey::IdealEspDNlD,
+            ConfigKey::EspBpShared,
+            ConfigKey::EspBpSeparateContext,
+            ConfigKey::EspBpSeparateTables,
+            ConfigKey::PerfectL1i,
+            ConfigKey::PerfectL1d,
+            ConfigKey::PerfectBranch,
+            ConfigKey::PerfectAll,
+            ConfigKey::EspDepthProbe,
+        ]
+    }
+
     /// The short label used in report rows.
     pub fn label(self) -> &'static str {
         match self {
@@ -150,26 +192,32 @@ impl FigureReport {
 }
 
 /// A caching simulation runner: one workload per benchmark profile, one
-/// memoised [`RunReport`] per (profile, configuration).
+/// memoised [`RunReport`] per (profile, configuration), with parallel
+/// batch execution of whatever the figures plan ahead via
+/// [`Runner::ensure`].
 pub struct Runner {
     scale: u64,
     seed: u64,
+    threads: usize,
     workloads: Vec<(BenchmarkProfile, GeneratedWorkload)>,
     cache: HashMap<(usize, ConfigKey), RunReport>,
+    sims_run: u64,
 }
 
 impl Runner {
     /// Builds workloads for all seven profiles at `scale` instructions
-    /// each.
+    /// each (in parallel, one generation job per profile), using
+    /// [`esp_par::threads`] worker threads — the machine's parallelism,
+    /// overridable through the `ESP_THREADS` environment variable.
     pub fn new(scale: u64, seed: u64) -> Self {
-        let workloads = BenchmarkProfile::all()
-            .into_iter()
-            .map(|p| {
-                let w = p.scaled(scale).build(seed);
-                (p, w)
-            })
-            .collect();
-        Runner { scale, seed, workloads, cache: HashMap::new() }
+        Self::with_threads(scale, seed, esp_par::threads())
+    }
+
+    /// Like [`Runner::new`] with an explicit worker-thread count.
+    pub fn with_threads(scale: u64, seed: u64, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workloads = BenchmarkProfile::build_all_scaled(scale, seed, threads);
+        Runner { scale, seed, threads, workloads, cache: HashMap::new(), sims_run: 0 }
     }
 
     /// The instruction scale per benchmark.
@@ -182,6 +230,16 @@ impl Runner {
         self.seed
     }
 
+    /// The worker-thread count used for simulation fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Simulations executed so far (cache misses only).
+    pub fn sims_run(&self) -> u64 {
+        self.sims_run
+    }
+
     /// Benchmark names in presentation order.
     pub fn names(&self) -> Vec<&'static str> {
         self.workloads.iter().map(|(p, _)| p.name()).collect()
@@ -192,11 +250,40 @@ impl Runner {
         &self.workloads
     }
 
-    /// Runs (or recalls) configuration `key` on profile index `i`.
+    /// Executes every not-yet-cached `(profile, key)` pair of the plan
+    /// `keys × all profiles` on the worker pool and stores the reports in
+    /// the cache. After `ensure`, [`Runner::run`] for any planned pair is
+    /// a pure lookup.
+    ///
+    /// Results are identical to sequential execution for any thread
+    /// count: each simulation owns its configuration and shares only the
+    /// immutable workload.
+    pub fn ensure(&mut self, keys: &[ConfigKey]) {
+        let mut pairs: Vec<(usize, ConfigKey)> = Vec::new();
+        for &key in keys {
+            for i in 0..self.workloads.len() {
+                let pair = (i, key);
+                if !self.cache.contains_key(&pair) && !pairs.contains(&pair) {
+                    pairs.push(pair);
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return;
+        }
+        let workloads = &self.workloads;
+        let reports = esp_par::parallel_map(self.threads, &pairs, |_, &(i, key)| {
+            Simulator::new(key.config()).run(&workloads[i].1)
+        });
+        self.sims_run += reports.len() as u64;
+        self.cache.extend(pairs.into_iter().zip(reports));
+    }
+
+    /// Recalls configuration `key` on profile index `i`, executing the
+    /// key's whole profile row (in parallel) on a cache miss.
     pub fn run(&mut self, i: usize, key: ConfigKey) -> &RunReport {
         if !self.cache.contains_key(&(i, key)) {
-            let report = Simulator::new(key.config()).run(&self.workloads[i].1);
-            self.cache.insert((i, key), report);
+            self.ensure(&[key]);
         }
         &self.cache[&(i, key)]
     }
@@ -204,6 +291,7 @@ impl Runner {
     /// Per-benchmark performance improvement (%) of `key` over `base`,
     /// plus the harmonic mean in the last position.
     pub fn improvements(&mut self, key: ConfigKey, base: ConfigKey) -> Vec<f64> {
+        self.ensure(&[key, base]);
         let mut vals = Vec::new();
         for i in 0..self.workloads.len() {
             let b = self.run(i, base).busy_cycles();
@@ -215,18 +303,15 @@ impl Runner {
     }
 
     /// Per-benchmark values of `metric`, plus the harmonic mean of the
-    /// values in the last position.
+    /// values (arithmetic fallback for non-positive entries, see
+    /// [`esp_stats::harmonic_mean`]) in the last position.
     pub fn metric(&mut self, key: ConfigKey, metric: impl Fn(&RunReport) -> f64) -> Vec<f64> {
+        self.ensure(&[key]);
         let mut vals = Vec::new();
         for i in 0..self.workloads.len() {
             vals.push(metric(self.run(i, key)));
         }
-        let hmean = if vals.iter().any(|&v| v <= 0.0) {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        } else {
-            vals.len() as f64 / vals.iter().map(|v| 1.0 / v).sum::<f64>()
-        };
-        vals.push(hmean);
+        vals.push(esp_stats::harmonic_mean(&vals));
         vals
     }
 
@@ -264,8 +349,27 @@ mod tests {
         let c1 = r.run(0, ConfigKey::Base).total_cycles;
         let c2 = r.run(0, ConfigKey::Base).total_cycles;
         assert_eq!(c1, c2);
-        assert_eq!(r.cache.len(), 1);
+        // A miss fills the key's whole profile row, and only once.
+        assert_eq!(r.cache.len(), 7);
+        assert_eq!(r.sims_run(), 7);
         assert_eq!(r.names().len(), 7);
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_deduplicates() {
+        let mut r = Runner::new(20_000, 1);
+        r.ensure(&[ConfigKey::Base, ConfigKey::Base, ConfigKey::NextLine]);
+        assert_eq!(r.sims_run(), 14);
+        r.ensure(&[ConfigKey::Base, ConfigKey::NextLine]);
+        assert_eq!(r.sims_run(), 14, "already-cached pairs must not rerun");
+    }
+
+    #[test]
+    fn all_keys_cover_the_matrix() {
+        let keys = ConfigKey::all();
+        assert_eq!(keys.len(), 29);
+        let labels: std::collections::HashSet<_> = keys.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), keys.len(), "labels must stay unique");
     }
 
     #[test]

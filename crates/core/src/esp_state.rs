@@ -10,6 +10,7 @@
 //! yields the promoted event's lists for normal-mode replay.
 
 use crate::config::EspFeatures;
+use crate::lineset::LineSet;
 use crate::replay::ReplayLists;
 use crate::working_set::WorkingSetReport;
 use esp_branch::PredictorContext;
@@ -18,7 +19,6 @@ use esp_mem::{AccessResult, CacheConfig, Cachelet, CacheletSlot, SetAssocCache};
 use esp_trace::{EventRecord, EventStream, InstrKind, Workload};
 use esp_types::{Cycle, LineAddr};
 use esp_uarch::{Engine, Stall};
-use std::collections::HashSet;
 
 /// Pipeline-drain cost charged when control switches between execution
 /// contexts (entering a window, or jumping one event deeper), modelled on
@@ -66,8 +66,8 @@ struct Slot<'w> {
     /// overlap rule: the pre-execution runs on the same out-of-order
     /// core, so clustered misses overlap instead of each stalling it.
     last_data_llc_at: Option<u64>,
-    iws: HashSet<u64>,
-    dws: HashSet<u64>,
+    iws: LineSet,
+    dws: LineSet,
 }
 
 impl<'w> Slot<'w> {
@@ -82,8 +82,8 @@ impl<'w> Slot<'w> {
             blocked_until: Cycle::ZERO,
             finished: false,
             last_data_llc_at: None,
-            iws: HashSet::new(),
-            dws: HashSet::new(),
+            iws: LineSet::new(),
+            dws: LineSet::new(),
         }
     }
 

@@ -42,6 +42,7 @@
 mod area;
 mod config;
 mod esp_state;
+mod lineset;
 mod replay;
 mod report;
 mod simulator;
@@ -50,6 +51,7 @@ mod working_set;
 pub use area::{area_table, total_added_bytes, AreaRow};
 pub use config::{EspFeatures, SimConfig, SimMode};
 pub use esp_state::EspRunStats;
+pub use lineset::LineSet;
 pub use replay::{ReplayLists, ReplayStats};
 pub use report::RunReport;
 pub use simulator::Simulator;

@@ -2,13 +2,13 @@
 
 use crate::config::{SimConfig, SimMode};
 use crate::esp_state::EspState;
+use crate::lineset::LineSet;
 use crate::replay::ReplayState;
 use crate::report::RunReport;
 use esp_energy::{ActivityCounts, EnergyModel};
 use esp_trace::{Instr, Workload};
 use esp_types::Addr;
 use esp_uarch::{Engine, StallKind};
-use std::collections::HashSet;
 
 /// Code region of the synthetic looper (event-queue management): a small
 /// hot loop executed between events.
@@ -50,21 +50,18 @@ impl Simulator {
         &self.config
     }
 
-    /// The looper's instruction sequence executed before event `idx`:
-    /// queue-management loads over a hot structure plus ALU work, all in
-    /// one small code region (§3.6 observes ~70 such instructions).
-    fn looper_instrs(&self, idx: usize) -> Vec<Instr> {
-        let n = self.config.looper_instrs as u64;
-        (0..n)
-            .map(|i| {
-                let pc = Addr::new(LOOPER_PC_BASE + (i % 32) * 4);
-                if i % 4 == 1 {
-                    Instr::load(pc, Addr::new(LOOPER_QUEUE_BASE + ((idx as u64 + i) % 16) * 64), false)
-                } else {
-                    Instr::alu(pc)
-                }
-            })
-            .collect()
+    /// The `i`-th instruction of the looper prologue executed before
+    /// event `idx`: queue-management loads over a hot structure plus ALU
+    /// work, all in one small code region (§3.6 observes ~70 such
+    /// instructions). Generated in place — no per-event buffer.
+    #[inline]
+    fn looper_instr(idx: usize, i: u64) -> Instr {
+        let pc = Addr::new(LOOPER_PC_BASE + (i % 32) * 4);
+        if i % 4 == 1 {
+            Instr::load(pc, Addr::new(LOOPER_QUEUE_BASE + ((idx as u64 + i) % 16) * 64), false)
+        } else {
+            Instr::alu(pc)
+        }
     }
 
     /// Runs the workload to completion and reports.
@@ -86,6 +83,10 @@ impl Simulator {
         let mut pending_lists = None;
         let events = workload.events();
         let line_bytes = self.config.engine.machine.hierarchy.l1i.line_bytes;
+        let n_looper = self.config.looper_instrs as u64;
+        // Reused across events: cleared in O(1), allocation kept.
+        let mut iws = LineSet::new();
+        let mut dws = LineSet::new();
 
         for (idx, record) in events.iter().enumerate() {
             // The looper cannot dequeue an event before it is posted.
@@ -94,15 +95,15 @@ impl Simulator {
             // Arm replay with whatever the event's pre-execution gathered
             // and use the looper prologue as the prefetch head start.
             replay.arm(pending_lists.take(), ideal, &mut engine);
-            for li in self.looper_instrs(idx) {
+            for i in 0..n_looper {
                 replay.tick(&mut engine, 0, 0);
-                engine.step(&li);
+                engine.step(&Self::looper_instr(idx, i));
             }
 
             let mut stream = workload.actual_stream(record.id);
             let mut branches = 0u64;
-            let mut iws: HashSet<u64> = HashSet::new();
-            let mut dws: HashSet<u64> = HashSet::new();
+            iws.clear();
+            dws.clear();
             loop {
                 replay.tick(&mut engine, stream.executed(), branches);
                 let Some(instr) = stream.next_instr() else {

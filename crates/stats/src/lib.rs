@@ -28,5 +28,5 @@ mod metrics;
 mod table;
 
 pub use counters::{BranchStats, CacheStats, PrefetchStats};
-pub use metrics::{harmonic_mean_improvement, improvement_pct, mpki, percent, rate};
+pub use metrics::{harmonic_mean, harmonic_mean_improvement, improvement_pct, mpki, percent, rate};
 pub use table::Table;

@@ -77,6 +77,29 @@ pub fn harmonic_mean_improvement(improvements_pct: &[f64]) -> f64 {
     (hmean_speedup - 1.0) * 100.0
 }
 
+/// The harmonic mean of raw per-benchmark metric values, with the
+/// arithmetic mean as a fallback when any value is non-positive (the
+/// harmonic mean is undefined there — e.g. a zero MPKI row) and `0.0`
+/// for empty input.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(esp_stats::harmonic_mean(&[4.0, 4.0]), 4.0);
+/// // Non-positive values fall back to the arithmetic mean.
+/// assert_eq!(esp_stats::harmonic_mean(&[0.0, 10.0]), 5.0);
+/// ```
+pub fn harmonic_mean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    if vals.iter().any(|&v| v <= 0.0) {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    } else {
+        vals.len() as f64 / vals.iter().map(|v| 1.0 / v).sum::<f64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +140,24 @@ mod tests {
         assert_eq!(harmonic_mean_improvement(&[]), 0.0);
         let h = harmonic_mean_improvement(&[-5.0, 5.0]);
         assert!(h.abs() < 1.0, "h={h}");
+    }
+
+    #[test]
+    fn harmonic_mean_of_positive_values() {
+        let h = harmonic_mean(&[1.0, 2.0, 4.0]);
+        // 3 / (1 + 0.5 + 0.25) = 12/7.
+        assert!((h - 12.0 / 7.0).abs() < 1e-12, "h={h}");
+        // Below the arithmetic mean, above the minimum.
+        assert!(h < (1.0 + 2.0 + 4.0) / 3.0);
+        assert!(h > 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_non_positive_fallback() {
+        // Any zero or negative value switches to the arithmetic mean.
+        assert_eq!(harmonic_mean(&[0.0, 2.0, 4.0]), 2.0);
+        assert_eq!(harmonic_mean(&[-3.0, 3.0]), 0.0);
+        // Empty input is 0, not NaN.
+        assert_eq!(harmonic_mean(&[]), 0.0);
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md) plus the parallel-runner
+# determinism check. Run from anywhere inside the repository; the build
+# is fully offline (no crates.io dependencies anywhere in the workspace).
+#
+#   ./scripts/verify.sh
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q (workspace) =="
+cargo test -q --workspace
+
+echo "== determinism: parallel runner == sequential simulation =="
+cargo test -q --release -p esp-bench --test determinism
+
+echo "verify: OK"

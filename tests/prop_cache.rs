@@ -1,8 +1,11 @@
-//! Property tests: the set-associative cache against a reference model.
+//! Randomized tests of the set-associative cache against a reference
+//! model. Seeded with the in-repo deterministic RNG (`esp_types::rng`)
+//! instead of an external property-test framework: the build environment
+//! has no network access to a crate registry, and fixed seeds make every
+//! failure exactly reproducible.
 
 use event_sneak_peek::mem::{AccessResult, CacheConfig, SetAssocCache};
-use event_sneak_peek::types::{Cycle, LineAddr};
-use proptest::prelude::*;
+use event_sneak_peek::types::{Cycle, LineAddr, Rng as _, Xoshiro256pp};
 use std::collections::HashMap;
 
 /// A trivially-correct reference: per-set LRU lists over a hash map.
@@ -58,69 +61,88 @@ fn small_cache() -> SetAssocCache {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Demand-access-with-fill sequences hit/miss identically to the
-    /// reference LRU model.
-    #[test]
-    fn matches_reference_lru(lines in prop::collection::vec(0u64..64, 1..300)) {
+/// Demand-access-with-fill sequences hit/miss identically to the
+/// reference LRU model.
+#[test]
+fn matches_reference_lru() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0001);
+    for case in 0..64 {
+        let len = rng.range(1, 300) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(64)).collect();
         let mut cache = small_cache();
         let mut reference = ReferenceCache::new(8, 4);
         for (i, &l) in lines.iter().enumerate() {
             let now = Cycle::new(i as u64 * 10);
             let got = cache.access(LineAddr::new(l), now).is_hit();
             let want = reference.access(l);
-            prop_assert_eq!(got, want, "access #{} line {}", i, l);
+            assert_eq!(got, want, "case {case} access #{i} line {l}");
             if !got {
                 cache.fill(LineAddr::new(l), now, now, false);
                 reference.fill(l);
             }
         }
     }
+}
 
-    /// Occupancy never exceeds capacity and probes agree with accesses.
-    #[test]
-    fn occupancy_and_probe_consistency(lines in prop::collection::vec(0u64..1000, 1..200)) {
+/// Occupancy never exceeds capacity and probes agree with accesses.
+#[test]
+fn occupancy_and_probe_consistency() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0002);
+    for case in 0..64 {
+        let len = rng.range(1, 200) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
         let mut cache = small_cache();
         for (i, &l) in lines.iter().enumerate() {
             let now = Cycle::new(i as u64);
             cache.fill(LineAddr::new(l), now, now, false);
-            prop_assert!(cache.occupancy() <= 32);
-            prop_assert!(cache.probe(LineAddr::new(l)), "just-filled line must be resident");
+            assert!(cache.occupancy() <= 32, "case {case}");
+            assert!(
+                cache.probe(LineAddr::new(l)),
+                "case {case}: just-filled line {l} must be resident"
+            );
         }
     }
+}
 
-    /// A partial hit is only reported while the fill is in flight, and
-    /// its latency never exceeds the fill distance.
-    #[test]
-    fn partial_hit_latencies(delay in 1u64..500, probe_at in 0u64..600) {
+/// A partial hit is only reported while the fill is in flight, and its
+/// latency never exceeds the fill distance.
+#[test]
+fn partial_hit_latencies() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0003);
+    for case in 0..256 {
+        let delay = rng.range(1, 500);
+        let probe_at = rng.below(600);
         let mut cache = small_cache();
         let l = LineAddr::new(7);
         cache.fill(l, Cycle::ZERO, Cycle::new(delay), false);
         match cache.access(l, Cycle::new(probe_at)) {
             AccessResult::Hit(lat) => {
-                prop_assert!(probe_at >= delay);
-                prop_assert_eq!(lat, 2);
+                assert!(probe_at >= delay, "case {case}");
+                assert_eq!(lat, 2, "case {case}");
             }
             AccessResult::PartialHit(lat) => {
-                prop_assert!(probe_at < delay);
-                prop_assert!(lat >= 2);
-                prop_assert!(lat <= delay.max(2));
+                assert!(probe_at < delay, "case {case}");
+                assert!(lat >= 2, "case {case}");
+                assert!(lat <= delay.max(2), "case {case}");
             }
-            AccessResult::Miss => prop_assert!(false, "line must be resident"),
+            AccessResult::Miss => panic!("case {case}: line must be resident"),
         }
     }
+}
 
-    /// Invalidation removes exactly the target line.
-    #[test]
-    fn invalidate_is_precise(a in 0u64..64, b in 0u64..64) {
-        prop_assume!(a != b);
+/// Invalidation removes exactly the target line.
+#[test]
+fn invalidate_is_precise() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0004);
+    for case in 0..64 {
+        let a = rng.below(64);
+        let b = (a + rng.range(1, 64)) % 64; // distinct from a by construction
+        assert_ne!(a, b);
         let mut cache = small_cache();
         cache.fill(LineAddr::new(a), Cycle::ZERO, Cycle::ZERO, false);
         cache.fill(LineAddr::new(b), Cycle::ZERO, Cycle::ZERO, false);
-        prop_assert!(cache.invalidate(LineAddr::new(a)));
-        prop_assert!(!cache.probe(LineAddr::new(a)));
-        prop_assert!(cache.probe(LineAddr::new(b)));
+        assert!(cache.invalidate(LineAddr::new(a)), "case {case}");
+        assert!(!cache.probe(LineAddr::new(a)), "case {case}");
+        assert!(cache.probe(LineAddr::new(b)), "case {case}");
     }
 }
