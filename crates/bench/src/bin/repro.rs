@@ -3,6 +3,8 @@
 //! ```text
 //! repro [--scale N] [--seed S] [--threads T] all
 //! repro [--scale N] [--seed S] fig9 fig11a ...
+//! repro [--trace out.jsonl] [--cpi-stack] fig9
+//! repro explain <benchmark ...>
 //! ```
 //!
 //! `--scale` is the per-benchmark instruction budget (default 400 000);
@@ -13,8 +15,15 @@
 //! count. Each phase prints its wall-clock time, and a `BENCH_repro.json`
 //! with the run's throughput is written next to the output so the perf
 //! trajectory can be tracked across revisions.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): `--trace <path>` writes
+//! a JSONL span trace of every simulation (per-worker buffers merged in
+//! input order — byte-identical for any thread count); `--cpi-stack`
+//! adds a per-benchmark baseline/ESP CPI-stack section to
+//! `BENCH_repro.json`; `explain <benchmark>` prints the baseline-vs-ESP
+//! CPI-stack delta table in the shape of the paper's Figs. 4/5.
 
-use esp_bench::{figures, Runner};
+use esp_bench::{explain, figures, ConfigKey, Runner};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -22,6 +31,8 @@ fn main() -> ExitCode {
     let mut scale: u64 = 400_000;
     let mut seed: u64 = 42;
     let mut threads: Option<usize> = None;
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut cpi_stack = false;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -39,6 +50,11 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => threads = Some(v),
                 _ => return usage("--threads needs a positive integer"),
             },
+            "--trace" => match args.next() {
+                Some(p) => trace = Some(p.into()),
+                None => return usage("--trace needs a file path"),
+            },
+            "--cpi-stack" => cpi_stack = true,
             "--help" | "-h" => return usage(""),
             other => wanted.push(other.to_string()),
         }
@@ -46,6 +62,28 @@ fn main() -> ExitCode {
     if wanted.is_empty() {
         return usage("no figure selected");
     }
+    // `explain` consumes the rest of the positional arguments as
+    // benchmark names, validated (like figure names) before any workload
+    // generation happens.
+    let explain_benches: Vec<String> = if wanted[0] == "explain" {
+        let benches: Vec<String> = wanted.drain(..).skip(1).collect();
+        if benches.is_empty() {
+            return usage("explain needs at least one benchmark name");
+        }
+        let names: Vec<&str> =
+            esp_workload::BenchmarkProfile::all().iter().map(|p| p.name()).collect();
+        for b in &benches {
+            if !names.iter().any(|&n| n == b) {
+                return usage(&format!(
+                    "unknown benchmark '{b}' (expected one of: {})",
+                    names.join(", ")
+                ));
+            }
+        }
+        benches
+    } else {
+        Vec::new()
+    };
     // Validate every name up front so a typo fails before any workload
     // generation or simulation happens.
     for name in &wanted {
@@ -62,6 +100,31 @@ fn main() -> ExitCode {
     let mut runner = Runner::with_threads(scale, seed, threads);
     eprintln!("# workloads ready in {:.2}s", t_start.elapsed().as_secs_f64());
 
+    // Attach the trace sink before any simulation runs; refuse paths we
+    // cannot create instead of failing mid-run.
+    if let Some(path) = &trace {
+        if let Err(e) = runner.set_trace_output(path) {
+            eprintln!("error: cannot create trace file {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("# tracing to {}", path.display());
+    }
+
+    if !explain_benches.is_empty() {
+        for b in &explain_benches {
+            let t = Instant::now();
+            match explain::explain(&mut runner, b) {
+                Ok(rep) => {
+                    eprintln!("# explain {b} in {:.2}s", t.elapsed().as_secs_f64());
+                    println!("{}", rep.render());
+                }
+                Err(e) => return usage(&e.to_string()),
+            }
+        }
+        write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack);
+        return ExitCode::SUCCESS;
+    }
+
     if wanted.iter().any(|w| w == "all") {
         let t = Instant::now();
         let reports = figures::all(&mut runner);
@@ -73,7 +136,7 @@ fn main() -> ExitCode {
         for report in reports {
             println!("{}", report.render());
         }
-        write_bench_json(&runner, t_start.elapsed().as_secs_f64());
+        write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack);
         return ExitCode::SUCCESS;
     }
     for name in &wanted {
@@ -94,22 +157,37 @@ fn main() -> ExitCode {
             Err(e) => return usage(&e.to_string()),
         }
     }
-    write_bench_json(&runner, t_start.elapsed().as_secs_f64());
+    write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack);
     ExitCode::SUCCESS
 }
 
 /// Writes `BENCH_repro.json` so future revisions can track the perf
-/// trajectory of a full regeneration at fixed scale/seed.
-fn write_bench_json(runner: &Runner, total_seconds: f64) {
+/// trajectory of a full regeneration at fixed scale/seed. With
+/// `cpi_stack` requested, the baseline and ESP+NL runs are ensured and
+/// their per-benchmark CPI stacks embedded (identical for any
+/// `--threads` value; the determinism test asserts this).
+fn write_bench_json(runner: &mut Runner, total_seconds: f64, cpi_stack: bool) {
+    let stack_section = if cpi_stack {
+        // Runs the baseline/ESP pair if the requested figures did not
+        // already (a cache hit otherwise).
+        runner.ensure(&[ConfigKey::Base, ConfigKey::EspNl]);
+        match runner.cpi_stack_json("  ") {
+            Some(json) => format!(",\n  \"cpi_stack\": {json}"),
+            None => String::new(),
+        }
+    } else {
+        String::new()
+    };
     let sims = runner.sims_run();
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"sims_run\": {},\n  \"total_seconds\": {:.3},\n  \"sims_per_sec\": {:.3}\n}}\n",
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"sims_run\": {},\n  \"total_seconds\": {:.3},\n  \"sims_per_sec\": {:.3}{}\n}}\n",
         runner.scale(),
         runner.seed(),
         runner.threads(),
         sims,
         total_seconds,
         if total_seconds > 0.0 { sims as f64 / total_seconds } else { 0.0 },
+        stack_section,
     );
     match std::fs::write("BENCH_repro.json", &json) {
         Ok(()) => eprintln!("# wrote BENCH_repro.json ({sims} sims in {total_seconds:.2}s)"),
@@ -122,9 +200,12 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--scale N] [--seed S] [--threads T] <all | fig3 fig6 fig7 fig8 fig9 \
-         fig10 fig11a fig11b fig12 fig13 fig14 | ablate>\n\
-         threads default to ESP_THREADS or the machine's parallelism"
+        "usage: repro [--scale N] [--seed S] [--threads T] [--trace FILE.jsonl] [--cpi-stack] \
+         <all | fig3 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 | ablate \
+         | explain BENCHMARK...>\n\
+         threads default to ESP_THREADS or the machine's parallelism;\n\
+         --trace writes a JSONL span trace, --cpi-stack embeds per-benchmark CPI stacks\n\
+         in BENCH_repro.json (schema: docs/OBSERVABILITY.md)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,132 @@
+//! `repro explain <benchmark>`: the baseline-vs-ESP CPI-stack delta.
+//!
+//! Reproduces the *shape* of the paper's Figs. 4/5 — execution time
+//! decomposed into stall classes — as a delta table: for one benchmark,
+//! each [`CycleClass`]'s cycles and CPI contribution under the
+//! no-prefetch baseline and under ESP + next-line, with the absolute and
+//! relative change. Reading it answers the question the figures exist
+//! to answer: *which stall class did ESP remove?*
+
+use crate::runner::{ConfigKey, FigureReport, Runner};
+use esp_obs::CycleClass;
+use esp_stats::Table;
+
+/// Builds the CPI-stack delta report for the named benchmark.
+///
+/// # Errors
+///
+/// Returns [`esp_types::Error::InvalidConfig`] if `bench` is not one of
+/// the seven profile names.
+pub fn explain(runner: &mut Runner, bench: &str) -> esp_types::Result<FigureReport> {
+    let names = runner.names();
+    let Some(i) = names.iter().position(|&n| n == bench) else {
+        return Err(esp_types::Error::invalid_config(format!(
+            "unknown benchmark '{bench}' (expected one of: {})",
+            names.join(", ")
+        )));
+    };
+    runner.ensure(&[ConfigKey::Base, ConfigKey::EspNl]);
+    let base = runner.run(i, ConfigKey::Base).clone();
+    let esp = runner.run(i, ConfigKey::EspNl).clone();
+
+    let mut table = Table::with_headers(&[
+        "class",
+        "paper",
+        "base cycles",
+        "base CPI",
+        "ESP+NL cycles",
+        "ESP+NL CPI",
+        "Δ cycles",
+        "Δ %",
+    ]);
+    let cpi = |cycles: u64, retired: u64| {
+        if retired == 0 { 0.0 } else { cycles as f64 / retired as f64 }
+    };
+    for &class in &CycleClass::ALL {
+        let b = base.cpi_stack.get(class);
+        let e = esp.cpi_stack.get(class);
+        let delta = e as i64 - b as i64;
+        let pct = if b > 0 { 100.0 * delta as f64 / b as f64 } else { 0.0 };
+        table.push_row(vec![
+            class.label().to_string(),
+            class.paper_figure().to_string(),
+            b.to_string(),
+            format!("{:.4}", cpi(b, base.engine.retired)),
+            e.to_string(),
+            format!("{:.4}", cpi(e, esp.engine.retired)),
+            format!("{delta:+}"),
+            format!("{pct:+.1}"),
+        ]);
+    }
+    let (bt, et) = (base.cpi_stack.total(), esp.cpi_stack.total());
+    table.push_row(vec![
+        "total".to_string(),
+        "".to_string(),
+        bt.to_string(),
+        format!("{:.4}", cpi(bt, base.engine.retired)),
+        et.to_string(),
+        format!("{:.4}", cpi(et, esp.engine.retired)),
+        format!("{:+}", et as i64 - bt as i64),
+        format!("{:+.1}", if bt > 0 { 100.0 * (et as f64 - bt as f64) / bt as f64 } else { 0.0 }),
+    ]);
+
+    let notes = vec![
+        format!(
+            "stall classes sum to total cycles on both sides ({bt} and {et}); \
+             the conservation test asserts this for every profile and config"
+        ),
+        format!(
+            "busy-cycle speedup: {:.1}% (the figure-of-merit excludes idle)",
+            esp_stats::improvement_pct(base.busy_cycles(), esp.busy_cycles())
+        ),
+        format!(
+            "memo: ESP covered {} of its remaining stall cycles with useful \
+             pre-execution (pre_exec_overlap; not a stack class)",
+            esp.cpi_stack.pre_exec_overlap
+        ),
+    ];
+    Ok(FigureReport {
+        id: "explain",
+        title: "baseline vs ESP + NL CPI stack (Figs. 4/5 shape)",
+        tables: vec![(format!("benchmark: {bench}"), table)],
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_table_conserves_and_renders() {
+        let mut r = Runner::with_threads(20_000, 5, 2);
+        let rep = explain(&mut r, "amazon").expect("amazon exists");
+        let rendered = rep.render();
+        assert!(rendered.contains("icache (LLC miss)"));
+        assert!(rendered.contains("total"));
+        // The per-class rows sum to the total row, per side.
+        let table = &rep.tables[0].1;
+        let col_sum = |c: usize| -> u64 {
+            table.rows()[..CycleClass::ALL.len()]
+                .iter()
+                .map(|row| row[c].parse::<u64>().unwrap())
+                .sum()
+        };
+        let total_row = &table.rows()[CycleClass::ALL.len()];
+        assert_eq!(col_sum(2), total_row[2].parse::<u64>().unwrap());
+        assert_eq!(col_sum(4), total_row[4].parse::<u64>().unwrap());
+        // And the totals are the reports' total cycles.
+        let i = r.names().iter().position(|&n| n == "amazon").unwrap();
+        assert_eq!(
+            total_row[2].parse::<u64>().unwrap(),
+            r.run(i, ConfigKey::Base).total_cycles
+        );
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let mut r = Runner::with_threads(20_000, 5, 2);
+        let err = explain(&mut r, "nosuch").unwrap_err();
+        assert!(err.to_string().contains("nosuch"));
+    }
+}

@@ -3,7 +3,11 @@
 //!
 //! The `repro` binary (`cargo run --release -p esp-bench --bin repro --
 //! all`) prints each figure in the same rows/series layout the paper
-//! uses; the Criterion benches in `benches/` time the simulator itself.
+//! uses; the plain-`std` timing benches in `benches/` time the simulator
+//! itself. `repro explain <benchmark>` prints the baseline-vs-ESP
+//! CPI-stack delta (see [`explain`]), and `--trace <path>` /
+//! `--cpi-stack` expose the `esp-obs` observability layer (glossary and
+//! trace schema in `docs/OBSERVABILITY.md`).
 //!
 //! Figures are regenerated at a configurable instruction scale (default
 //! 400 000 per benchmark; see `DESIGN.md` on scaling) with per-(profile,
@@ -14,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod explain;
 pub mod figures;
 pub mod runner;
 

@@ -7,10 +7,13 @@
 //! [`Runner::improvements`] / [`Runner::metric`] become cache lookups.
 
 use esp_core::{RunReport, SimConfig, Simulator};
+use esp_obs::TraceProbe;
 use esp_stats::Table;
 use esp_uarch::PerfectFlags;
 use esp_workload::{BenchmarkProfile, GeneratedWorkload};
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
 
 /// Every machine configuration the evaluation compares, as a nameable
 /// key (so runs can be cached and reports labelled consistently).
@@ -202,6 +205,10 @@ pub struct Runner {
     workloads: Vec<(BenchmarkProfile, GeneratedWorkload)>,
     cache: HashMap<(usize, ConfigKey), RunReport>,
     sims_run: u64,
+    /// JSONL trace sink; when set, every simulation runs with a
+    /// [`TraceProbe`] and per-worker buffers are appended here in input
+    /// order (so the file is byte-identical for any thread count).
+    trace: Option<std::io::BufWriter<std::fs::File>>,
 }
 
 impl Runner {
@@ -217,7 +224,21 @@ impl Runner {
     pub fn with_threads(scale: u64, seed: u64, threads: usize) -> Self {
         let threads = threads.max(1);
         let workloads = BenchmarkProfile::build_all_scaled(scale, seed, threads);
-        Runner { scale, seed, threads, workloads, cache: HashMap::new(), sims_run: 0 }
+        Runner { scale, seed, threads, workloads, cache: HashMap::new(), sims_run: 0, trace: None }
+    }
+
+    /// Routes a JSONL trace of every subsequent simulation to `path`
+    /// (created or truncated eagerly, so an unwritable path fails here —
+    /// before any simulation — rather than mid-run).
+    pub fn set_trace_output(&mut self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.trace = Some(std::io::BufWriter::new(file));
+        Ok(())
+    }
+
+    /// Whether a trace sink is currently attached.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// The instruction scale per benchmark.
@@ -272,11 +293,65 @@ impl Runner {
             return;
         }
         let workloads = &self.workloads;
-        let reports = esp_par::parallel_map(self.threads, &pairs, |_, &(i, key)| {
-            Simulator::new(key.config()).run(&workloads[i].1)
+        let tracing = self.trace.is_some();
+        let results = esp_par::parallel_map(self.threads, &pairs, |_, &(i, key)| {
+            let (profile, workload) = &workloads[i];
+            if tracing {
+                let mut probe = TraceProbe::new(profile.name(), key.label());
+                let report = Simulator::new(key.config()).run_probed(workload, &mut probe);
+                (report, probe.into_bytes())
+            } else {
+                (Simulator::new(key.config()).run(workload), Vec::new())
+            }
         });
-        self.sims_run += reports.len() as u64;
-        self.cache.extend(pairs.into_iter().zip(reports));
+        self.sims_run += results.len() as u64;
+        let mut write_err = None;
+        if let Some(out) = self.trace.as_mut() {
+            for (_, buf) in &results {
+                if let Err(e) = out.write_all(buf).and_then(|()| out.flush()) {
+                    write_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = write_err {
+            // A sick trace sink must not corrupt the simulation results:
+            // drop it, keep the reports.
+            eprintln!("warning: trace output failed ({e}); tracing disabled");
+            self.trace = None;
+        }
+        self.cache.extend(pairs.into_iter().zip(results.into_iter().map(|(r, _)| r)));
+    }
+
+    /// The cached report for `(i, key)`, if one exists (no simulation is
+    /// triggered — used to build the `cpi_stack` section from whatever a
+    /// figure run already produced).
+    pub fn cached(&self, i: usize, key: ConfigKey) -> Option<&RunReport> {
+        self.cache.get(&(i, key))
+    }
+
+    /// The `cpi_stack` section of `BENCH_repro.json`: per benchmark, the
+    /// baseline and ESP+NL CPI stacks (the Fig. 4/5 pair), rendered as a
+    /// JSON object. Requires both configurations to be cached for every
+    /// profile — call `ensure(&[ConfigKey::Base, ConfigKey::EspNl])`
+    /// first. Deterministic: identical text for any thread count.
+    pub fn cpi_stack_json(&self, indent: &str) -> Option<String> {
+        let inner = format!("{indent}  ");
+        let mut out = String::from("{\n");
+        for (i, (profile, _)) in self.workloads.iter().enumerate() {
+            let base = self.cached(i, ConfigKey::Base)?;
+            let esp = self.cached(i, ConfigKey::EspNl)?;
+            out.push_str(&format!(
+                "{inner}\"{}\": {{\"base\": {}, \"esp_nl\": {}}}{}\n",
+                profile.name(),
+                base.cpi_stack.to_json(),
+                esp.cpi_stack.to_json(),
+                if i + 1 < self.workloads.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(indent);
+        out.push('}');
+        Some(out)
     }
 
     /// Recalls configuration `key` on profile index `i`, executing the

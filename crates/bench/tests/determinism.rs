@@ -15,6 +15,7 @@ fn assert_reports_equal(a: &RunReport, b: &RunReport, what: &str) {
     assert_eq!(a.engine, b.engine, "{what}: engine stats");
     assert_eq!(a.esp, b.esp, "{what}: esp stats");
     assert_eq!(a.events_run, b.events_run, "{what}: events_run");
+    assert_eq!(a.cpi_stack, b.cpi_stack, "{what}: cpi_stack");
 }
 
 #[test]

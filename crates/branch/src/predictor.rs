@@ -176,6 +176,18 @@ impl BranchPredictor {
         &self.stats[ctx.idx()]
     }
 
+    /// Outcome statistics for every context, in `(context, stats)`
+    /// pairs — the branch section of the observability run trace, which
+    /// reports speculative ESP-context prediction quality separately
+    /// from the normal-mode rate of Fig. 12.
+    pub fn stats_all(&self) -> [(PredictorContext, BranchStats); 3] {
+        [
+            (PredictorContext::Normal, self.stats[0]),
+            (PredictorContext::Esp1, self.stats[1]),
+            (PredictorContext::Esp2, self.stats[2]),
+        ]
+    }
+
     /// Resets statistics for all contexts (state is preserved).
     pub fn reset_stats(&mut self) {
         self.stats = [BranchStats::default(); 3];

@@ -16,9 +16,10 @@ use crate::working_set::WorkingSetReport;
 use esp_branch::PredictorContext;
 use esp_lists::{AddrList, BList, ListCapacities};
 use esp_mem::{AccessResult, CacheConfig, Cachelet, CacheletSlot, SetAssocCache};
+use esp_obs::{CycleClass, NullProbe, Probe, WindowRecord, WindowSpender};
 use esp_trace::{EventRecord, EventStream, InstrKind, Workload};
 use esp_types::{Cycle, LineAddr};
-use esp_uarch::{Engine, Stall};
+use esp_uarch::{Engine, Stall, StallKind};
 
 /// Pipeline-drain cost charged when control switches between execution
 /// contexts (entering a window, or jumping one event deeper), modelled on
@@ -217,8 +218,25 @@ impl<'w> EspState<'w> {
         self.stats.events_started += 1;
     }
 
-    /// Spends one LLC-miss stall window pre-executing queued events.
+    /// Spends one LLC-miss stall window pre-executing queued events
+    /// (the unprobed convenience form; the simulator drives the probed
+    /// variant directly).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn spend_window(&mut self, engine: &mut Engine, stall: Stall, current_idx: usize) {
+        self.spend_window_probed(engine, stall, current_idx, &mut NullProbe);
+    }
+
+    /// [`EspState::spend_window`] with an observability probe: emits one
+    /// [`WindowRecord`] per window and feeds the engine's
+    /// `pre_exec_overlap` memo. Statically dispatched — with
+    /// [`NullProbe`] this is the plain `spend_window` path.
+    pub fn spend_window_probed<P: Probe>(
+        &mut self,
+        engine: &mut Engine,
+        stall: Stall,
+        current_idx: usize,
+        probe: &mut P,
+    ) {
         self.stats.windows += 1;
         // Checkpoint the normal context's RAS (16 entries) so ESP-mode
         // calls/returns do not corrupt it. The paper clears the RAS on
@@ -232,6 +250,10 @@ impl<'w> EspState<'w> {
             + engine.config().timing.issue_extra_millis;
         let total_millis = stall.cycles * 1000;
         let mut spent = SWITCH_COST_CYCLES * 1000;
+        // Millis of real pre-execution work (switch costs and tail waste
+        // excluded) — the window's utilization.
+        let mut utilized_millis = 0u64;
+        let mut window_instrs = 0u64;
         let events = self.workload.events();
 
         'window: while spent + base_millis <= total_millis {
@@ -251,10 +273,13 @@ impl<'w> EspState<'w> {
                 match self.step_slot(s, t, base_millis, engine) {
                     SlotStep::Ran(millis) => {
                         spent += millis;
+                        utilized_millis += millis;
+                        window_instrs += 1;
                         self.stats.instrs_by_depth[s] += 1;
                     }
                     SlotStep::Blocked(until, millis) => {
                         spent += millis + SWITCH_COST_CYCLES * 1000;
+                        utilized_millis += millis;
                         self.slots[s].blocked_until = until;
                         self.stats.blocked_switches += 1;
                         break;
@@ -272,6 +297,19 @@ impl<'w> EspState<'w> {
             Some(cp) => engine.bp_mut().restore_speculative(cp),
             None => engine.bp_mut().clear_ras(),
         }
+        let utilized = (utilized_millis / 1000).min(stall.cycles);
+        engine.note_pre_exec_overlap(utilized);
+        probe.on_window(&WindowRecord {
+            at: stall.start,
+            stall_class: match stall.kind {
+                StallKind::InstrLlcMiss => CycleClass::IcacheLlc,
+                StallKind::DataLlcMiss => CycleClass::DcacheLlc,
+            },
+            offered_cycles: stall.cycles,
+            utilized_cycles: utilized,
+            instrs: window_instrs,
+            spender: WindowSpender::Esp,
+        });
     }
 
     /// Executes one instruction of slot `s` at time `t`.

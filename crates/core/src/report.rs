@@ -4,6 +4,7 @@ use crate::esp_state::EspRunStats;
 use crate::replay::ReplayStats;
 use crate::working_set::WorkingSetReport;
 use esp_energy::{ActivityCounts, EnergyBreakdown};
+use esp_obs::CpiStack;
 use esp_stats::{mpki, percent};
 use esp_uarch::{CycleBreakdown, EngineStats};
 use std::fmt;
@@ -18,8 +19,11 @@ use std::fmt;
 pub struct RunReport {
     /// Total simulated cycles, including idle.
     pub total_cycles: u64,
-    /// The cycle breakdown.
+    /// The coarse cycle breakdown (the fine stack with L2/LLC and
+    /// mispredict/misfetch pairs folded).
     pub breakdown: CycleBreakdown,
+    /// The fine-grained CPI stack; its classes sum to `total_cycles`.
+    pub cpi_stack: CpiStack,
     /// Normal-mode engine counters.
     pub engine: EngineStats,
     /// ESP activity (zeroed for non-ESP runs).

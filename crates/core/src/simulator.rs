@@ -5,7 +5,9 @@ use crate::esp_state::EspState;
 use crate::lineset::LineSet;
 use crate::replay::ReplayState;
 use crate::report::RunReport;
+use esp_branch::PredictorContext;
 use esp_energy::{ActivityCounts, EnergyModel};
+use esp_obs::{CycleClass, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender};
 use esp_trace::{Instr, Workload};
 use esp_types::Addr;
 use esp_uarch::{Engine, StallKind};
@@ -66,6 +68,17 @@ impl Simulator {
 
     /// Runs the workload to completion and reports.
     pub fn run(&self, workload: &dyn Workload) -> RunReport {
+        self.run_probed(workload, &mut NullProbe)
+    }
+
+    /// [`Simulator::run`] with an observability probe (see `esp-obs`).
+    ///
+    /// The probe sees every stall charge, every spent pre-execution
+    /// window, one [`EventSpan`] per event (whose stack tiles the run:
+    /// span stacks sum to the total CPI stack), and a final
+    /// [`RunSummary`]. Statically dispatched: `run` is this method
+    /// monomorphized over the no-op probe, at identical speed.
+    pub fn run_probed<P: Probe>(&self, workload: &dyn Workload, probe: &mut P) -> RunReport {
         let mut engine = Engine::new(self.config.engine.clone());
         let mut esp: Option<EspState<'_>> = match &self.config.mode {
             SimMode::Esp(f) => Some(EspState::new(*f, workload)),
@@ -89,6 +102,11 @@ impl Simulator {
         let mut dws = LineSet::new();
 
         for (idx, record) in events.iter().enumerate() {
+            let span_start = engine.now();
+            let stack_before = *engine.cpi_stack();
+            let retired_before = engine.stats().retired;
+            let mut span_windows = 0u64;
+
             // The looper cannot dequeue an event before it is posted.
             engine.idle_until(record.post_time);
 
@@ -97,7 +115,7 @@ impl Simulator {
             replay.arm(pending_lists.take(), ideal, &mut engine);
             for i in 0..n_looper {
                 replay.tick(&mut engine, 0, 0);
-                engine.step(&Self::looper_instr(idx, i));
+                engine.step_probed(&Self::looper_instr(idx, i), probe);
             }
 
             let mut stream = workload.actual_stream(record.id);
@@ -115,7 +133,7 @@ impl Simulator {
                         dws.insert(a.line(line_bytes).as_u64());
                     }
                 }
-                let out = engine.step(&instr);
+                let out = engine.step_probed(&instr, probe);
                 if instr.is_branch() {
                     branches += 1;
                 }
@@ -124,17 +142,27 @@ impl Simulator {
                         SimMode::Baseline => {}
                         SimMode::Runahead { data_only } => {
                             if stall.kind == StallKind::DataLlcMiss {
-                                engine.run_runahead_flavored(
+                                span_windows += 1;
+                                let ra = engine.run_runahead_flavored(
                                     &*stream,
                                     stall.start,
                                     stall.cycles,
                                     *data_only,
                                 );
+                                probe.on_window(&WindowRecord {
+                                    at: stall.start,
+                                    stall_class: CycleClass::DcacheLlc,
+                                    offered_cycles: stall.cycles,
+                                    utilized_cycles: ra.utilized_cycles,
+                                    instrs: ra.instrs,
+                                    spender: WindowSpender::Runahead,
+                                });
                             }
                         }
                         SimMode::Esp(_) => {
                             let esp = esp.as_mut().expect("ESP mode without ESP state");
-                            esp.spend_window(&mut engine, stall, idx);
+                            span_windows += 1;
+                            esp.spend_window_probed(&mut engine, stall, idx, probe);
                         }
                     }
                 }
@@ -147,9 +175,38 @@ impl Simulator {
                 pending_lists = esp.on_event_complete(idx + 1);
                 engine.bp_mut().promote_event();
             }
+
+            probe.on_event(&EventSpan {
+                idx: idx as u64,
+                start: span_start,
+                end: engine.now(),
+                retired: engine.stats().retired - retired_before,
+                windows: span_windows,
+                stack: engine.cpi_stack().since(&stack_before),
+            });
         }
 
-        self.assemble_report(engine, esp, replay, events.len() as u64)
+        let mem_snap = engine.mem().snapshot();
+        let (esp_branches, esp_mispredicts) = {
+            let b1 = engine.bp().stats(PredictorContext::Esp1);
+            let b2 = engine.bp().stats(PredictorContext::Esp2);
+            (b1.total() + b2.total(), b1.mispredicted + b2.mispredicted)
+        };
+        let report = self.assemble_report(engine, esp, replay, events.len() as u64);
+        probe.on_run(&RunSummary {
+            total_cycles: report.total_cycles,
+            events: report.events_run,
+            retired: report.engine.retired,
+            stack: report.cpi_stack,
+            l1i: mem_snap.l1i,
+            l1d: mem_snap.l1d,
+            l2: mem_snap.l2,
+            branches: report.engine.branches,
+            mispredicts: report.engine.mispredicts,
+            esp_branches,
+            esp_mispredicts,
+        });
+        report
     }
 
     fn assemble_report(
@@ -161,7 +218,8 @@ impl Simulator {
     ) -> RunReport {
         let mut report = RunReport {
             total_cycles: engine.now().as_u64(),
-            breakdown: *engine.breakdown(),
+            breakdown: engine.breakdown(),
+            cpi_stack: *engine.cpi_stack(),
             engine: *engine.stats(),
             events_run,
             replay: replay.stats(),

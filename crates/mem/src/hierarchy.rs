@@ -1,7 +1,19 @@
 //! The three-level demand hierarchy.
 
 use crate::{AccessResult, HierarchyConfig, SetAssocCache};
+use esp_stats::CacheStats;
 use esp_types::{Cycle, LineAddr};
+
+/// Per-level demand/prefetch counters sampled at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchySnapshot {
+    /// The instruction L1's counters.
+    pub l1i: CacheStats,
+    /// The data L1's counters.
+    pub l1d: CacheStats,
+    /// The unified L2/LLC's counters.
+    pub l2: CacheStats,
+}
 
 /// Which level of the hierarchy served an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -92,6 +104,16 @@ impl MemoryHierarchy {
     /// The DRAM access latency in cycles.
     pub fn mem_latency(&self) -> u64 {
         self.mem_latency
+    }
+
+    /// One immutable sample of every level's demand/prefetch counters
+    /// (the per-level section of the observability run trace).
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+        }
     }
 
     /// Resets all statistics (contents are preserved).

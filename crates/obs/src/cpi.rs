@@ -1,0 +1,261 @@
+//! The CPI stack: every simulated cycle attributed to one cause.
+
+/// The cause one simulated cycle is attributed to.
+///
+/// These are the fine-grained stall classes behind the paper's Figs. 4/5
+/// execution-time breakdown; the engine's coarse `CycleBreakdown` is the
+/// same data with the L2/LLC and mispredict/misfetch pairs folded
+/// together. Every cycle the engine charges belongs to exactly one
+/// class, so per-class cycles sum to total cycles (the conservation
+/// invariant the observability tests assert).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CycleClass {
+    /// Issue-width and dispatch-inefficiency cycles: the cycles the
+    /// interval model charges for retiring instructions with no stall.
+    Base,
+    /// Exposed instruction-fetch stall cycles served below the L1-I but
+    /// at or above the LLC (L2 hits and in-flight partial hits).
+    IcacheL2,
+    /// Exposed instruction-fetch stall cycles for fetches that missed
+    /// the LLC (the window-opening front-end stalls of Fig. 4).
+    IcacheLlc,
+    /// Exposed data stall cycles served below the L1-D but at or above
+    /// the LLC (the `data_exposed_pct` fraction of an L2 hit).
+    DcacheL2,
+    /// Exposed data stall cycles for loads that missed the LLC and did
+    /// not overlap a prior miss inside the ROB (Fig. 5's LLC-data
+    /// component; these open the pre-execution windows).
+    DcacheLlc,
+    /// Full pipeline-flush penalties: branch direction/target
+    /// mispredictions plus the identical restart paid when leaving a
+    /// speculative pre-execution mode (§4.1).
+    BranchMispredict,
+    /// Decode-stage re-steer penalties for direct-target BTB misses
+    /// (cheaper than a mispredict; counted separately).
+    BranchMisfetch,
+    /// Cycles with an empty event queue (the core waits for the next
+    /// event's arrival time).
+    Idle,
+}
+
+impl CycleClass {
+    /// Every class, in the canonical (table/JSON) order.
+    pub const ALL: [CycleClass; 8] = [
+        CycleClass::Base,
+        CycleClass::IcacheL2,
+        CycleClass::IcacheLlc,
+        CycleClass::DcacheL2,
+        CycleClass::DcacheLlc,
+        CycleClass::BranchMispredict,
+        CycleClass::BranchMisfetch,
+        CycleClass::Idle,
+    ];
+
+    /// Stable snake_case key used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleClass::Base => "base",
+            CycleClass::IcacheL2 => "icache_l2",
+            CycleClass::IcacheLlc => "icache_llc",
+            CycleClass::DcacheL2 => "dcache_l2",
+            CycleClass::DcacheLlc => "dcache_llc",
+            CycleClass::BranchMispredict => "branch_mispredict",
+            CycleClass::BranchMisfetch => "branch_misfetch",
+            CycleClass::Idle => "idle",
+        }
+    }
+
+    /// Human label used in rendered tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleClass::Base => "base (issue)",
+            CycleClass::IcacheL2 => "icache (L2)",
+            CycleClass::IcacheLlc => "icache (LLC miss)",
+            CycleClass::DcacheL2 => "dcache (L2)",
+            CycleClass::DcacheLlc => "dcache (LLC miss)",
+            CycleClass::BranchMispredict => "branch mispredict",
+            CycleClass::BranchMisfetch => "branch misfetch",
+            CycleClass::Idle => "idle (queue empty)",
+        }
+    }
+
+    /// The paper figure this class reproduces the vocabulary of.
+    pub fn paper_figure(self) -> &'static str {
+        match self {
+            CycleClass::Base => "Figs. 4/5 (busy)",
+            CycleClass::IcacheL2 | CycleClass::IcacheLlc => "Fig. 4 / Fig. 11a",
+            CycleClass::DcacheL2 | CycleClass::DcacheLlc => "Fig. 5 / Fig. 11b",
+            CycleClass::BranchMispredict | CycleClass::BranchMisfetch => "Fig. 12",
+            CycleClass::Idle => "§2 (event queue)",
+        }
+    }
+}
+
+/// Cycles attributed per [`CycleClass`], plus one memo counter.
+///
+/// The eight class fields partition simulated time: their sum equals the
+/// engine's `now()` for a full run (and the span's duration for a
+/// per-event delta). `pre_exec_overlap` is a *memo*, not a ninth class —
+/// it records how many of the already-counted `dcache_llc`/`icache_llc`
+/// stall cycles were covered by useful ESP or runahead pre-execution,
+/// and is excluded from [`CpiStack::total`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Cycles attributed to [`CycleClass::Base`].
+    pub base: u64,
+    /// Cycles attributed to [`CycleClass::IcacheL2`].
+    pub icache_l2: u64,
+    /// Cycles attributed to [`CycleClass::IcacheLlc`].
+    pub icache_llc: u64,
+    /// Cycles attributed to [`CycleClass::DcacheL2`].
+    pub dcache_l2: u64,
+    /// Cycles attributed to [`CycleClass::DcacheLlc`].
+    pub dcache_llc: u64,
+    /// Cycles attributed to [`CycleClass::BranchMispredict`].
+    pub branch_mispredict: u64,
+    /// Cycles attributed to [`CycleClass::BranchMisfetch`].
+    pub branch_misfetch: u64,
+    /// Cycles attributed to [`CycleClass::Idle`].
+    pub idle: u64,
+    /// Memo: stall cycles (already counted above) during which a
+    /// pre-execution scheme made forward progress. Not part of
+    /// [`CpiStack::total`].
+    pub pre_exec_overlap: u64,
+}
+
+impl CpiStack {
+    /// Adds `cycles` to the given class.
+    #[inline]
+    pub fn charge(&mut self, class: CycleClass, cycles: u64) {
+        *self.slot_mut(class) += cycles;
+    }
+
+    /// Cycles currently attributed to `class`.
+    pub fn get(&self, class: CycleClass) -> u64 {
+        match class {
+            CycleClass::Base => self.base,
+            CycleClass::IcacheL2 => self.icache_l2,
+            CycleClass::IcacheLlc => self.icache_llc,
+            CycleClass::DcacheL2 => self.dcache_l2,
+            CycleClass::DcacheLlc => self.dcache_llc,
+            CycleClass::BranchMispredict => self.branch_mispredict,
+            CycleClass::BranchMisfetch => self.branch_misfetch,
+            CycleClass::Idle => self.idle,
+        }
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, class: CycleClass) -> &mut u64 {
+        match class {
+            CycleClass::Base => &mut self.base,
+            CycleClass::IcacheL2 => &mut self.icache_l2,
+            CycleClass::IcacheLlc => &mut self.icache_llc,
+            CycleClass::DcacheL2 => &mut self.dcache_l2,
+            CycleClass::DcacheLlc => &mut self.dcache_llc,
+            CycleClass::BranchMispredict => &mut self.branch_mispredict,
+            CycleClass::BranchMisfetch => &mut self.branch_misfetch,
+            CycleClass::Idle => &mut self.idle,
+        }
+    }
+
+    /// Sum of all eight classes (the memo is excluded); equals total
+    /// simulated cycles for a full run.
+    pub fn total(&self) -> u64 {
+        CycleClass::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Total minus idle — cycles the core actually worked or stalled.
+    pub fn busy(&self) -> u64 {
+        self.total() - self.idle
+    }
+
+    /// Stall cycles only: total minus base and idle.
+    pub fn stall(&self) -> u64 {
+        self.busy() - self.base
+    }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// monotonically growing stack (used to carve out per-event spans).
+    pub fn since(&self, earlier: &CpiStack) -> CpiStack {
+        CpiStack {
+            base: self.base - earlier.base,
+            icache_l2: self.icache_l2 - earlier.icache_l2,
+            icache_llc: self.icache_llc - earlier.icache_llc,
+            dcache_l2: self.dcache_l2 - earlier.dcache_l2,
+            dcache_llc: self.dcache_llc - earlier.dcache_llc,
+            branch_mispredict: self.branch_mispredict - earlier.branch_mispredict,
+            branch_misfetch: self.branch_misfetch - earlier.branch_misfetch,
+            idle: self.idle - earlier.idle,
+            pre_exec_overlap: self.pre_exec_overlap - earlier.pre_exec_overlap,
+        }
+    }
+
+    /// Folds another stack into this one.
+    pub fn merge(&mut self, other: &CpiStack) {
+        for &c in &CycleClass::ALL {
+            self.charge(c, other.get(c));
+        }
+        self.pre_exec_overlap += other.pre_exec_overlap;
+    }
+
+    /// Renders the stack as a flat JSON object (stable key order; the
+    /// memo is last).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push('{');
+        for &c in &CycleClass::ALL {
+            s.push('"');
+            s.push_str(c.name());
+            s.push_str("\":");
+            s.push_str(&self.get(c).to_string());
+            s.push(',');
+        }
+        s.push_str("\"pre_exec_overlap\":");
+        s.push_str(&self.pre_exec_overlap.to_string());
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_total_and_since() {
+        let mut s = CpiStack::default();
+        for (i, &c) in CycleClass::ALL.iter().enumerate() {
+            s.charge(c, (i + 1) as u64);
+        }
+        assert_eq!(s.total(), (1..=8).sum::<u64>());
+        assert_eq!(s.busy(), s.total() - s.idle);
+        assert_eq!(s.stall(), s.total() - s.idle - s.base);
+        let snap = s;
+        s.charge(CycleClass::DcacheLlc, 10);
+        s.pre_exec_overlap += 4;
+        let d = s.since(&snap);
+        assert_eq!(d.dcache_llc, 10);
+        assert_eq!(d.pre_exec_overlap, 4);
+        assert_eq!(d.total(), 10);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CpiStack { base: 1, idle: 2, ..CpiStack::default() };
+        let b = CpiStack { base: 3, pre_exec_overlap: 5, ..CpiStack::default() };
+        a.merge(&b);
+        assert_eq!(a.base, 4);
+        assert_eq!(a.idle, 2);
+        assert_eq!(a.pre_exec_overlap, 5);
+    }
+
+    #[test]
+    fn json_has_every_class_key() {
+        let s = CpiStack::default();
+        let j = s.to_json();
+        for &c in &CycleClass::ALL {
+            assert!(j.contains(&format!("\"{}\":0", c.name())), "{j}");
+        }
+        assert!(j.ends_with("\"pre_exec_overlap\":0}"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability for the ESP reproduction: CPI-stack stall attribution,
+//! a zero-cost probe facade, and structured JSONL run tracing.
+//!
+//! The paper's whole argument is made in terms of *stall accounting*:
+//! Figs. 4/5 decompose execution time into I-cache, LLC-data, and
+//! branch-misprediction stall cycles, and every later figure explains a
+//! speedup as the removal of one of those components. This crate gives
+//! the simulator the same vocabulary:
+//!
+//! * [`CpiStack`] — every simulated cycle attributed to exactly one
+//!   [`CycleClass`] (the fine-grained version of the engine's coarse
+//!   `CycleBreakdown`), with a conservation guarantee: the classes sum
+//!   to the engine's total cycle count.
+//! * [`Probe`] — a statically dispatched observer trait with empty
+//!   default methods. The engine and simulator are generic over it, and
+//!   the default [`NullProbe`] monomorphizes to nothing, so the
+//!   instrumented hot loop costs zero when tracing is off.
+//! * [`CpiObserver`] — an in-memory probe collecting per-event spans
+//!   (used by the conservation tests and ad-hoc analysis).
+//! * [`TraceProbe`] — a probe that renders spans to JSON-Lines in an
+//!   in-memory buffer, so the parallel runner can merge per-worker
+//!   buffers deterministically in input order.
+//!
+//! The glossary of every class and counter, the trace schema, and a
+//! worked example live in `docs/OBSERVABILITY.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpi;
+mod probe;
+mod trace;
+
+pub use cpi::{CpiStack, CycleClass};
+pub use probe::{
+    CpiObserver, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender,
+};
+pub use trace::{push_json_str, TraceProbe};

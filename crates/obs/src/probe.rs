@@ -1,0 +1,202 @@
+//! The probe facade and the in-memory collecting probe.
+
+use crate::cpi::{CpiStack, CycleClass};
+use esp_stats::CacheStats;
+use esp_types::Cycle;
+
+/// Which pre-execution scheme spent a stall window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowSpender {
+    /// ESP event pre-execution (§3–§4).
+    Esp,
+    /// Classic runahead execution (the paper's comparison point, §7).
+    Runahead,
+}
+
+impl WindowSpender {
+    /// Stable snake_case key used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowSpender::Esp => "esp",
+            WindowSpender::Runahead => "runahead",
+        }
+    }
+}
+
+/// One spent stall window: an exposed LLC-miss stall handed to a
+/// pre-execution scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// The cycle the stall began.
+    pub at: Cycle,
+    /// The stall class that opened the window ([`CycleClass::IcacheLlc`]
+    /// or [`CycleClass::DcacheLlc`]).
+    pub stall_class: CycleClass,
+    /// Exposed stall cycles offered to the scheme.
+    pub offered_cycles: u64,
+    /// Cycles the scheme spent doing useful pre-execution work
+    /// (excludes context-switch overhead and tail waste).
+    pub utilized_cycles: u64,
+    /// Instructions pre-executed inside the window.
+    pub instrs: u64,
+    /// Who spent it.
+    pub spender: WindowSpender,
+}
+
+/// One event's slice of the run: the half-open cycle span from the end
+/// of the previous event (or time zero) to this event's completion,
+/// including any idle wait for its arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventSpan {
+    /// Index of the event in queue order.
+    pub idx: u64,
+    /// Cycle the span began (== the previous span's `end`).
+    pub start: Cycle,
+    /// Cycle the event finished retiring.
+    pub end: Cycle,
+    /// Instructions retired by this event (looper prologue included).
+    pub retired: u64,
+    /// Stall windows handed to a pre-execution scheme during the event.
+    pub windows: u64,
+    /// Per-class cycles charged inside the span; `stack.total()` equals
+    /// `end - start` (span conservation).
+    pub stack: CpiStack,
+}
+
+/// End-of-run roll-up emitted once per simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total simulated cycles (== `stack.total()`).
+    pub total_cycles: u64,
+    /// Events run.
+    pub events: u64,
+    /// Instructions retired in normal mode.
+    pub retired: u64,
+    /// The whole-run CPI stack.
+    pub stack: CpiStack,
+    /// Demand counters of the L1 instruction cache.
+    pub l1i: CacheStats,
+    /// Demand counters of the L1 data cache.
+    pub l1d: CacheStats,
+    /// Demand counters of the unified L2/LLC.
+    pub l2: CacheStats,
+    /// Branches retired in normal mode.
+    pub branches: u64,
+    /// Branches mispredicted in normal mode.
+    pub mispredicts: u64,
+    /// Branches predicted in the speculative ESP-1/ESP-2 predictor
+    /// contexts (zero for non-ESP runs).
+    pub esp_branches: u64,
+    /// ESP-context branches mispredicted.
+    pub esp_mispredicts: u64,
+}
+
+/// A statically dispatched observer of the simulation.
+///
+/// Every method has an empty default body and every call site is
+/// generic, so the no-op [`NullProbe`] compiles away entirely — the
+/// instrumented hot loop is exactly as fast as the uninstrumented one
+/// when tracing is disabled.
+pub trait Probe {
+    /// A nonzero stall charge was attributed to `class` at time `now`.
+    /// Base and idle cycles are *not* reported here (they are visible in
+    /// the per-event [`EventSpan::stack`]); only stall classes are.
+    #[inline]
+    fn on_stall(&mut self, class: CycleClass, cycles: u64, now: Cycle) {
+        let _ = (class, cycles, now);
+    }
+
+    /// A stall window was handed to a pre-execution scheme and spent.
+    #[inline]
+    fn on_window(&mut self, window: &WindowRecord) {
+        let _ = window;
+    }
+
+    /// An event finished; `span` covers every cycle since the previous
+    /// event finished.
+    #[inline]
+    fn on_event(&mut self, span: &EventSpan) {
+        let _ = span;
+    }
+
+    /// The run finished.
+    #[inline]
+    fn on_run(&mut self, run: &RunSummary) {
+        let _ = run;
+    }
+}
+
+/// The do-nothing probe: zero-sized, every hook inlines to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// An in-memory probe that keeps every event span and the run summary —
+/// the workhorse of the conservation tests and ad-hoc notebooks.
+#[derive(Clone, Debug, Default)]
+pub struct CpiObserver {
+    /// Every event span, in queue order.
+    pub events: Vec<EventSpan>,
+    /// Number of windows spent across the run.
+    pub windows: u64,
+    /// Sum of cycles offered to pre-execution schemes.
+    pub offered_cycles: u64,
+    /// Sum of cycles pre-execution schemes actually utilized.
+    pub utilized_cycles: u64,
+    /// The end-of-run summary (set once the run completes).
+    pub run: Option<RunSummary>,
+}
+
+impl Probe for CpiObserver {
+    fn on_window(&mut self, window: &WindowRecord) {
+        self.windows += 1;
+        self.offered_cycles += window.offered_cycles;
+        self.utilized_cycles += window.utilized_cycles;
+    }
+
+    fn on_event(&mut self, span: &EventSpan) {
+        self.events.push(*span);
+    }
+
+    fn on_run(&mut self, run: &RunSummary) {
+        self.run = Some(*run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NullProbe>(), 0);
+    }
+
+    #[test]
+    fn observer_collects() {
+        let mut o = CpiObserver::default();
+        o.on_window(&WindowRecord {
+            at: Cycle::ZERO,
+            stall_class: CycleClass::DcacheLlc,
+            offered_cycles: 100,
+            utilized_cycles: 60,
+            instrs: 40,
+            spender: WindowSpender::Esp,
+        });
+        o.on_event(&EventSpan {
+            idx: 0,
+            start: Cycle::ZERO,
+            end: Cycle::new(10),
+            retired: 5,
+            windows: 1,
+            stack: CpiStack { base: 10, ..CpiStack::default() },
+        });
+        o.on_run(&RunSummary { total_cycles: 10, ..RunSummary::default() });
+        assert_eq!(o.windows, 1);
+        assert_eq!(o.offered_cycles, 100);
+        assert_eq!(o.utilized_cycles, 60);
+        assert_eq!(o.events.len(), 1);
+        assert_eq!(o.run.unwrap().total_cycles, 10);
+    }
+}

@@ -1,0 +1,213 @@
+//! JSON-Lines trace rendering.
+
+use crate::cpi::CpiStack;
+use crate::probe::{EventSpan, Probe, RunSummary, WindowRecord};
+use esp_stats::CacheStats;
+
+/// Appends `s` to `out` as a JSON string literal (quotes included),
+/// escaping the characters JSON requires.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_cache_stats(out: &mut String, key: &str, s: &CacheStats) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":{\"accesses\":");
+    out.push_str(&s.accesses().to_string());
+    out.push_str(",\"misses\":");
+    out.push_str(&s.misses.to_string());
+    out.push_str(",\"partial_hits\":");
+    out.push_str(&s.partial_hits.to_string());
+    out.push_str(",\"prefetch_fills\":");
+    out.push_str(&s.prefetch_fills.to_string());
+    out.push_str(",\"prefetch_useful\":");
+    out.push_str(&s.prefetch_useful.to_string());
+    out.push('}');
+}
+
+/// A probe that renders every span to JSON-Lines in an in-memory buffer.
+///
+/// One simulation gets one `TraceProbe`; each line is self-describing
+/// (it repeats the benchmark and config labels), so per-worker buffers
+/// from a parallel run can be concatenated in input order into a single
+/// valid trace file. Window records are *not* emitted by default — a
+/// production-scale run spends hundreds of thousands of windows — but
+/// [`TraceProbe::with_windows`] turns them on for small-scale debugging.
+/// The schema is documented in `docs/OBSERVABILITY.md`.
+#[derive(Clone, Debug)]
+pub struct TraceProbe {
+    benchmark: String,
+    config: String,
+    emit_windows: bool,
+    buf: String,
+}
+
+impl TraceProbe {
+    /// Creates a probe labelling every line with `benchmark`/`config`.
+    pub fn new(benchmark: &str, config: &str) -> Self {
+        TraceProbe {
+            benchmark: benchmark.to_string(),
+            config: config.to_string(),
+            emit_windows: false,
+            buf: String::new(),
+        }
+    }
+
+    /// Also emits one `window` line per spent stall window.
+    pub fn with_windows(mut self) -> Self {
+        self.emit_windows = true;
+        self
+    }
+
+    /// The rendered JSONL buffer (newline-terminated lines).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.into_bytes()
+    }
+
+    fn open_line(&mut self, kind: &str) {
+        self.buf.push_str("{\"type\":\"");
+        self.buf.push_str(kind);
+        self.buf.push_str("\",\"benchmark\":");
+        let (b, c) = (self.benchmark.clone(), self.config.clone());
+        push_json_str(&mut self.buf, &b);
+        self.buf.push_str(",\"config\":");
+        push_json_str(&mut self.buf, &c);
+    }
+
+    fn push_field_u64(&mut self, key: &str, v: u64) {
+        self.buf.push_str(",\"");
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+        self.buf.push_str(&v.to_string());
+    }
+
+    fn push_cpi(&mut self, stack: &CpiStack) {
+        self.buf.push_str(",\"cpi\":");
+        self.buf.push_str(&stack.to_json());
+    }
+}
+
+impl Probe for TraceProbe {
+    fn on_window(&mut self, w: &WindowRecord) {
+        if !self.emit_windows {
+            return;
+        }
+        self.open_line("window");
+        self.push_field_u64("at", w.at.as_u64());
+        self.buf.push_str(",\"stall_class\":\"");
+        self.buf.push_str(w.stall_class.name());
+        self.buf.push_str("\",\"spender\":\"");
+        self.buf.push_str(w.spender.name());
+        self.buf.push('"');
+        self.push_field_u64("offered_cycles", w.offered_cycles);
+        self.push_field_u64("utilized_cycles", w.utilized_cycles);
+        self.push_field_u64("instrs", w.instrs);
+        self.buf.push_str("}\n");
+    }
+
+    fn on_event(&mut self, span: &EventSpan) {
+        self.open_line("event");
+        self.push_field_u64("idx", span.idx);
+        self.push_field_u64("start", span.start.as_u64());
+        self.push_field_u64("end", span.end.as_u64());
+        self.push_field_u64("retired", span.retired);
+        self.push_field_u64("windows", span.windows);
+        self.push_cpi(&span.stack);
+        self.buf.push_str("}\n");
+    }
+
+    fn on_run(&mut self, run: &RunSummary) {
+        self.open_line("run");
+        self.push_field_u64("total_cycles", run.total_cycles);
+        self.push_field_u64("events", run.events);
+        self.push_field_u64("retired", run.retired);
+        self.push_field_u64("branches", run.branches);
+        self.push_field_u64("mispredicts", run.mispredicts);
+        self.push_field_u64("esp_branches", run.esp_branches);
+        self.push_field_u64("esp_mispredicts", run.esp_mispredicts);
+        self.push_cpi(&run.stack);
+        self.buf.push(',');
+        push_cache_stats(&mut self.buf, "l1i", &run.l1i);
+        self.buf.push(',');
+        push_cache_stats(&mut self.buf, "l1d", &run.l1d);
+        self.buf.push(',');
+        push_cache_stats(&mut self.buf, "l2", &run.l2);
+        self.buf.push_str("}\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpi::CycleClass;
+    use crate::probe::WindowSpender;
+    use esp_types::Cycle;
+
+    #[test]
+    fn escapes_json_strings() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn event_and_run_lines_are_rendered() {
+        let mut p = TraceProbe::new("amazon", "base");
+        p.on_event(&EventSpan {
+            idx: 3,
+            start: Cycle::new(10),
+            end: Cycle::new(25),
+            retired: 7,
+            windows: 0,
+            stack: CpiStack { base: 15, ..CpiStack::default() },
+        });
+        p.on_run(&RunSummary { total_cycles: 25, events: 4, ..RunSummary::default() });
+        let text = String::from_utf8(p.into_bytes()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"event\",\"benchmark\":\"amazon\",\"config\":\"base\""));
+        assert!(lines[0].contains("\"idx\":3"));
+        assert!(lines[0].contains("\"cpi\":{\"base\":15,"));
+        assert!(lines[1].starts_with("{\"type\":\"run\""));
+        assert!(lines[1].contains("\"total_cycles\":25"));
+        assert!(lines[1].contains("\"l1i\":{\"accesses\":0,"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn window_lines_only_when_enabled() {
+        let w = WindowRecord {
+            at: Cycle::new(5),
+            stall_class: CycleClass::DcacheLlc,
+            offered_cycles: 90,
+            utilized_cycles: 70,
+            instrs: 33,
+            spender: WindowSpender::Esp,
+        };
+        let mut off = TraceProbe::new("b", "c");
+        off.on_window(&w);
+        assert!(off.into_bytes().is_empty());
+        let mut on = TraceProbe::new("b", "c").with_windows();
+        on.on_window(&w);
+        let text = String::from_utf8(on.into_bytes()).unwrap();
+        assert!(text.contains("\"stall_class\":\"dcache_llc\""));
+        assert!(text.contains("\"spender\":\"esp\""));
+    }
+}

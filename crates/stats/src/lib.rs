@@ -4,7 +4,8 @@
 //! exposes its raw event counts through the small counter structs here;
 //! derived metrics (MPKI, miss rates, IPC, improvement percentages,
 //! harmonic means) are computed in one place so every figure reports them
-//! identically.
+//! identically (§6 of the paper). Cycle-level *attribution* — which
+//! stall class a cycle belongs to — lives one layer up in `esp-obs`.
 //!
 //! # Examples
 //!

@@ -4,6 +4,7 @@ use crate::EngineConfig;
 use esp_branch::{BranchPredictor, Prediction, PredictorContext};
 use esp_mem::prefetch::{DcuNextLine, NextLineInstr, StridePrefetcher};
 use esp_mem::MemoryHierarchy;
+use esp_obs::{CpiStack, CycleClass, NullProbe, Probe};
 use esp_trace::{Instr, InstrKind};
 use esp_types::{Cycle, LineAddr};
 
@@ -46,7 +47,11 @@ impl Default for Stall {
     }
 }
 
-/// Where the cycles went — the breakdown behind every figure.
+/// Where the cycles went — the coarse breakdown behind every figure.
+///
+/// Derived from the engine's fine-grained [`CpiStack`] by folding the
+/// L2/LLC and mispredict/misfetch pairs together; see
+/// [`Engine::cpi_stack`] for the unfolded version.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
     /// Issue-width and dispatch-inefficiency cycles.
@@ -65,6 +70,17 @@ impl CycleBreakdown {
     /// Sum of all categories.
     pub fn total(&self) -> u64 {
         self.base + self.icache + self.dcache + self.branch + self.idle
+    }
+
+    /// Folds a fine-grained stack into the coarse categories.
+    pub fn from_stack(s: &CpiStack) -> CycleBreakdown {
+        CycleBreakdown {
+            base: s.base,
+            icache: s.icache_l2 + s.icache_llc,
+            dcache: s.dcache_l2 + s.dcache_llc,
+            branch: s.branch_mispredict + s.branch_misfetch,
+            idle: s.idle,
+        }
     }
 }
 
@@ -114,7 +130,7 @@ pub struct Engine {
     base_millis_per_instr: u64,
     last_fetch_line: Option<LineAddr>,
     last_data_llc_miss_at: Option<u64>,
-    breakdown: CycleBreakdown,
+    stack: CpiStack,
     stats: EngineStats,
 }
 
@@ -140,7 +156,7 @@ impl Engine {
             base_millis_per_instr,
             last_fetch_line: None,
             last_data_llc_miss_at: None,
-            breakdown: CycleBreakdown::default(),
+            stack: CpiStack::default(),
             stats: EngineStats::default(),
             cfg,
         }
@@ -156,9 +172,22 @@ impl Engine {
         self.now
     }
 
-    /// The cycle breakdown so far.
-    pub fn breakdown(&self) -> &CycleBreakdown {
-        &self.breakdown
+    /// The coarse cycle breakdown so far (derived from the CPI stack).
+    pub fn breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown::from_stack(&self.stack)
+    }
+
+    /// The fine-grained CPI stack so far. Its classes partition the
+    /// engine's charged cycles: `cpi_stack().total() == now()`.
+    pub fn cpi_stack(&self) -> &CpiStack {
+        &self.stack
+    }
+
+    /// Records `cycles` of already-charged stall time as covered by
+    /// useful pre-execution (the `pre_exec_overlap` memo; called by the
+    /// ESP window spender and the runahead driver).
+    pub fn note_pre_exec_overlap(&mut self, cycles: u64) {
+        self.stack.pre_exec_overlap += cycles;
     }
 
     /// Normal-mode demand counters.
@@ -195,13 +224,13 @@ impl Engine {
     pub fn charge_pipeline_restart(&mut self) {
         let p = self.bp.mispredict_penalty();
         self.now += p;
-        self.breakdown.branch += p;
+        self.stack.charge(CycleClass::BranchMispredict, p);
     }
 
     /// Idles the core until `t` (empty event queue).
     pub fn idle_until(&mut self, t: Cycle) {
         if t.is_after(self.now) {
-            self.breakdown.idle += t - self.now;
+            self.stack.charge(CycleClass::Idle, t - self.now);
             self.now = t;
         }
     }
@@ -217,11 +246,18 @@ impl Engine {
         let whole = self.millis / 1000;
         self.millis %= 1000;
         self.now += whole;
-        self.breakdown.base += whole;
+        self.stack.charge(CycleClass::Base, whole);
     }
 
     /// Retires one normal-mode instruction, charging all cycles.
     pub fn step(&mut self, instr: &Instr) -> StepOutcome {
+        self.step_probed(instr, &mut NullProbe)
+    }
+
+    /// [`Engine::step`] with an observability probe. The probe is
+    /// statically dispatched; with [`NullProbe`] this compiles to the
+    /// exact same code as the unprobed path.
+    pub fn step_probed<P: Probe>(&mut self, instr: &Instr, probe: &mut P) -> StepOutcome {
         let mut out = StepOutcome::default();
         self.charge_base();
 
@@ -250,7 +286,15 @@ impl Engine {
                 }
                 let exposed = r.latency.saturating_sub(hit_lat);
                 self.now += exposed;
-                self.breakdown.icache += exposed;
+                if exposed > 0 {
+                    let class = if r.llc_miss {
+                        CycleClass::IcacheLlc
+                    } else {
+                        CycleClass::IcacheL2
+                    };
+                    self.stack.charge(class, exposed);
+                    probe.on_stall(class, exposed, self.now);
+                }
                 if r.llc_miss && exposed > 0 {
                     out.stall = Some(Stall {
                         kind: StallKind::InstrLlcMiss,
@@ -271,13 +315,18 @@ impl Engine {
             };
             let penalty = self.bp.penalty_of(outcome);
             self.now += penalty;
-            self.breakdown.branch += penalty;
             match outcome {
                 Prediction::Mispredict => {
+                    self.stack.charge(CycleClass::BranchMispredict, penalty);
+                    probe.on_stall(CycleClass::BranchMispredict, penalty, self.now);
                     self.stats.mispredicts += 1;
                     out.mispredict = true;
                 }
-                Prediction::Misfetch => self.stats.misfetches += 1,
+                Prediction::Misfetch => {
+                    self.stack.charge(CycleClass::BranchMisfetch, penalty);
+                    probe.on_stall(CycleClass::BranchMisfetch, penalty, self.now);
+                    self.stats.misfetches += 1;
+                }
                 Prediction::Correct => {}
             }
         }
@@ -318,7 +367,15 @@ impl Engine {
                     r.latency.saturating_sub(hit_lat) * self.cfg.timing.data_exposed_pct / 100
                 };
                 self.now += exposed;
-                self.breakdown.dcache += exposed;
+                if exposed > 0 {
+                    let class = if r.llc_miss {
+                        CycleClass::DcacheLlc
+                    } else {
+                        CycleClass::DcacheL2
+                    };
+                    self.stack.charge(class, exposed);
+                    probe.on_stall(class, exposed, self.now);
+                }
                 if r.llc_miss && exposed > 0 {
                     out.stall = Some(Stall {
                         kind: StallKind::DataLlcMiss,

@@ -32,6 +32,10 @@ const RUNAHEAD_MSHRS: u32 = 10;
 pub struct RunaheadOutcome {
     /// Instructions pre-executed in the window.
     pub instrs: u64,
+    /// Window cycles the episode actually consumed (entry/exit pipeline
+    /// drains excluded) — the runahead-overlap component of the CPI
+    /// stack's `pre_exec_overlap` memo.
+    pub utilized_cycles: u64,
     /// Window cycles spent stalled on instruction fetch.
     pub ifetch_stall_cycles: u64,
     /// Loads skipped because their address chased the in-flight miss.
@@ -79,7 +83,8 @@ impl Engine {
         // Entering and leaving runahead each cost a pipeline drain/refill
         // that the episode pays out of its own window, like the ESP-mode
         // context switches.
-        let mut budget_millis = (window * 1000).saturating_sub(20 * 1000);
+        let initial_budget_millis = (window * 1000).saturating_sub(20 * 1000);
+        let mut budget_millis = initial_budget_millis;
         let base = 1000 / self.config().machine.width as u64
             + self.config().timing.issue_extra_millis;
         let line_bytes = self.config().machine.hierarchy.l1i.line_bytes;
@@ -183,6 +188,8 @@ impl Engine {
         }
         self.bp_mut().restore_speculative(checkpoint);
         self.note_runahead_instrs(out.instrs);
+        out.utilized_cycles = (initial_budget_millis - budget_millis) / 1000;
+        self.note_pre_exec_overlap(out.utilized_cycles);
         out
     }
 

@@ -18,4 +18,10 @@ cargo test -q --workspace
 echo "== determinism: parallel runner == sequential simulation =="
 cargo test -q --release -p esp-bench --test determinism
 
+echo "== observability: conservation + thread-count invariance =="
+cargo test -q --release -p esp-bench --test observability
+
+echo "== docs: cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "verify: OK"

@@ -34,6 +34,7 @@
 //! | [`uarch`] | `esp-uarch` | Interval timing model + runahead |
 //! | [`core`] | `esp-core` | The ESP architecture and the [`prelude::Simulator`] facade |
 //! | [`stats`] | `esp-stats` | Counters, metrics, report tables |
+//! | [`obs`] | `esp-obs` | CPI-stack stall attribution, probes, JSONL tracing |
 //! | [`energy`] | `esp-energy` | Energy and area models |
 
 #![forbid(unsafe_code)]
@@ -44,6 +45,7 @@ pub use esp_core as core;
 pub use esp_energy as energy;
 pub use esp_lists as lists;
 pub use esp_mem as mem;
+pub use esp_obs as obs;
 pub use esp_stats as stats;
 pub use esp_trace as trace;
 pub use esp_types as types;
@@ -53,6 +55,7 @@ pub use esp_workload as workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use esp_core::{EspFeatures, RunReport, SimConfig, SimMode, Simulator};
+    pub use esp_obs::{CpiObserver, CpiStack};
     pub use esp_trace::{EventStream, Workload};
     pub use esp_types::{Addr, Cycle, EventId, EventKindId, LineAddr};
     pub use esp_uarch::MachineConfig;
