@@ -5,6 +5,8 @@
 //! repro [--scale N] [--seed S] fig9 fig11a ...
 //! repro [--trace out.jsonl] [--cpi-stack] fig9
 //! repro explain <benchmark ...>
+//! repro [--scale N] [--seed S] [--fuzz N] check
+//! repro [--scale N] [--seed S] dump
 //! ```
 //!
 //! `--scale` is the per-benchmark instruction budget (default 400 000);
@@ -22,6 +24,16 @@
 //! adds a per-benchmark baseline/ESP CPI-stack section to
 //! `BENCH_repro.json`; `explain <benchmark>` prints the baseline-vs-ESP
 //! CPI-stack delta table in the shape of the paper's Figs. 4/5.
+//!
+//! An existing `BENCH_repro.json` produced at a *different* scale is
+//! never overwritten (its throughput numbers would silently stop being
+//! comparable); pass `--force` to replace it anyway.
+//!
+//! Correctness (see `docs/TESTING.md`): `check` runs the `esp-check`
+//! differential oracle over every benchmark under baseline, runahead and
+//! ESP+NL, then a seeded configuration fuzz sweep (`--fuzz` cases);
+//! `dump` prints the raw `RunReport` of every profile × configuration —
+//! the cross-process determinism test byte-compares two such dumps.
 
 use esp_bench::{explain, figures, ConfigKey, Runner};
 use std::process::ExitCode;
@@ -33,6 +45,8 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut trace: Option<std::path::PathBuf> = None;
     let mut cpi_stack = false;
+    let mut force = false;
+    let mut fuzz_cases: usize = 10;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -55,6 +69,11 @@ fn main() -> ExitCode {
                 None => return usage("--trace needs a file path"),
             },
             "--cpi-stack" => cpi_stack = true,
+            "--force" => force = true,
+            "--fuzz" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => fuzz_cases = v,
+                None => return usage("--fuzz needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             other => wanted.push(other.to_string()),
         }
@@ -84,6 +103,13 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+    // `check` and `dump` drive the simulator directly at the requested
+    // scale — no Runner (and no BENCH_repro.json) involved.
+    match wanted.first().map(String::as_str) {
+        Some("dump") => return dump(scale, seed),
+        Some("check") => return check(scale, seed, fuzz_cases),
+        _ => {}
+    }
     // Validate every name up front so a typo fails before any workload
     // generation or simulation happens.
     for name in &wanted {
@@ -121,7 +147,7 @@ fn main() -> ExitCode {
                 Err(e) => return usage(&e.to_string()),
             }
         }
-        write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack);
+        write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack, force);
         return ExitCode::SUCCESS;
     }
 
@@ -136,7 +162,7 @@ fn main() -> ExitCode {
         for report in reports {
             println!("{}", report.render());
         }
-        write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack);
+        write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack, force);
         return ExitCode::SUCCESS;
     }
     for name in &wanted {
@@ -157,16 +183,113 @@ fn main() -> ExitCode {
             Err(e) => return usage(&e.to_string()),
         }
     }
-    write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack);
+    write_bench_json(&mut runner, t_start.elapsed().as_secs_f64(), cpi_stack, force);
     ExitCode::SUCCESS
+}
+
+/// The differential matrix shared by `check` and `dump`: every profile
+/// under baseline, runahead, and the headline ESP+NL configuration.
+const MATRIX: [ConfigKey; 3] = [ConfigKey::Base, ConfigKey::Runahead, ConfigKey::EspNl];
+
+/// `repro dump`: prints the raw `RunReport` of every profile ×
+/// configuration to stdout, deterministically, and writes nothing to
+/// disk. Two processes with the same `--scale`/`--seed` must produce
+/// byte-identical output (asserted by `tests/cross_process.rs`).
+fn dump(scale: u64, seed: u64) -> ExitCode {
+    for profile in esp_workload::BenchmarkProfile::all() {
+        let w = profile.scaled(scale).build(seed);
+        for key in MATRIX {
+            let report = esp_core::Simulator::new(key.config()).run(&w);
+            println!("=== {} / {key:?} ===", profile.name());
+            println!("{report:#?}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro check`: the correctness gate. Runs the `esp-check`
+/// differential oracle (event recount, serial timing bound, component
+/// replay) over the full benchmark matrix, then a seeded configuration
+/// fuzz sweep. Any violation prints a shrunk, ready-to-paste reproducer
+/// and fails the process.
+fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
+    let mut failed = false;
+
+    let t = Instant::now();
+    for profile in esp_workload::BenchmarkProfile::all() {
+        let w = profile.scaled(scale).build(seed);
+        for key in MATRIX {
+            match esp_check::check_run(&key.config(), &w) {
+                Ok(r) => eprintln!(
+                    "# ok {:>9} {key:?}: serial {} >= busy {} ({} mem ops, {} bp ops)",
+                    profile.name(),
+                    r.serial_cycles,
+                    r.busy_cycles,
+                    r.mem_ops,
+                    r.bp_ops
+                ),
+                Err(e) => {
+                    failed = true;
+                    eprintln!("FAIL {:>9} {key:?}: {e}", profile.name());
+                }
+            }
+        }
+    }
+    eprintln!("# differential oracle done in {:.2}s", t.elapsed().as_secs_f64());
+
+    if fuzz_cases > 0 {
+        let t = Instant::now();
+        match esp_check::fuzz_with(seed, fuzz_cases, |c| c.check()) {
+            None => eprintln!(
+                "# fuzz: {fuzz_cases} cases clean in {:.2}s",
+                t.elapsed().as_secs_f64()
+            ),
+            Some(f) => {
+                failed = true;
+                eprintln!(
+                    "FAIL fuzz iteration {}: {}\nshrunk reproducer:\n{}",
+                    f.iteration,
+                    f.shrunk_message,
+                    esp_check::render_reproducer(&f)
+                );
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("check: OK");
+        ExitCode::SUCCESS
+    }
 }
 
 /// Writes `BENCH_repro.json` so future revisions can track the perf
 /// trajectory of a full regeneration at fixed scale/seed. With
 /// `cpi_stack` requested, the baseline and ESP+NL runs are ensured and
 /// their per-benchmark CPI stacks embedded (identical for any
-/// `--threads` value; the determinism test asserts this).
-fn write_bench_json(runner: &mut Runner, total_seconds: f64, cpi_stack: bool) {
+/// `--threads` value; the determinism test asserts this). An existing
+/// file recorded at a different scale is preserved unless `force` —
+/// mixed-scale throughput numbers are not comparable.
+fn write_bench_json(runner: &mut Runner, total_seconds: f64, cpi_stack: bool, force: bool) {
+    if !force {
+        if let Ok(existing) = std::fs::read_to_string("BENCH_repro.json") {
+            let prev = esp_check::Json::parse(&existing)
+                .ok()
+                .and_then(|j| j.get("scale").and_then(esp_check::Json::as_u64));
+            if let Some(prev) = prev {
+                if prev != runner.scale() {
+                    eprintln!(
+                        "# refusing to overwrite BENCH_repro.json: it was recorded at scale \
+                         {prev}, this run used {}; pass --force to replace it",
+                        runner.scale()
+                    );
+                    return;
+                }
+            }
+        }
+    }
     let stack_section = if cpi_stack {
         // Runs the baseline/ESP pair if the requested figures did not
         // already (a cache hit otherwise).
@@ -201,11 +324,15 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--scale N] [--seed S] [--threads T] [--trace FILE.jsonl] [--cpi-stack] \
+         [--force] [--fuzz N] \
          <all | fig3 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 | ablate \
-         | explain BENCHMARK...>\n\
+         | explain BENCHMARK... | check | dump>\n\
          threads default to ESP_THREADS or the machine's parallelism;\n\
          --trace writes a JSONL span trace, --cpi-stack embeds per-benchmark CPI stacks\n\
-         in BENCH_repro.json (schema: docs/OBSERVABILITY.md)"
+         in BENCH_repro.json (schema: docs/OBSERVABILITY.md);\n\
+         --force overwrites a BENCH_repro.json recorded at a different scale;\n\
+         check runs the differential oracle + a --fuzz N seeded sweep (docs/TESTING.md);\n\
+         dump prints every profile's RunReports for cross-process determinism checks"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

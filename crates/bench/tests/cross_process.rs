@@ -1,0 +1,54 @@
+//! Cross-process determinism: the same seed and scale must produce
+//! byte-identical `RunReport`s in two *separate* operating-system
+//! processes. This catches nondeterminism that in-process tests cannot —
+//! address-space layout leaking into results, hash-map iteration order,
+//! or anything seeded from ambient state.
+
+use std::process::Command;
+
+fn dump(dir: &std::path::Path) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "8000", "--seed", "7", "dump"])
+        .current_dir(dir)
+        .output()
+        .expect("repro dump must spawn");
+    assert!(
+        out.status.success(),
+        "repro dump failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "dump produced no output");
+    out.stdout
+}
+
+#[test]
+fn dump_is_byte_identical_across_processes() {
+    let dir = std::env::temp_dir().join(format!("esp-cross-process-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let first = dump(&dir);
+    let second = dump(&dir);
+    assert_eq!(first, second, "two processes produced different reports");
+
+    // Every profile and every matrix configuration must be present.
+    let text = String::from_utf8(first).expect("dump must be UTF-8");
+    for profile in esp_workload::BenchmarkProfile::all() {
+        assert!(
+            text.contains(&format!("=== {} / Base ===", profile.name())),
+            "missing baseline dump for {}",
+            profile.name()
+        );
+    }
+    for key in ["Base", "Runahead", "EspNl"] {
+        assert!(text.contains(&format!("/ {key} ===")), "missing {key} sections");
+    }
+
+    // `dump` must not leave a BENCH_repro.json (or anything else) behind.
+    assert!(
+        !dir.join("BENCH_repro.json").exists(),
+        "dump wrote BENCH_repro.json"
+    );
+    let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(leftovers.is_empty(), "dump left files behind: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

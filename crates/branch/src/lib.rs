@@ -42,4 +42,6 @@ mod predictor;
 pub use components::{Btb, GlobalPredictor, IndirectBtb, LocalPredictor, LoopPredictor, ReturnStack};
 pub use config::BranchConfig;
 pub use pir::PathInfoRegister;
-pub use predictor::{BranchPredictor, ContextPolicy, Prediction, PredictorContext, SpeculativeCheckpoint};
+pub use predictor::{
+    BpOp, BranchPredictor, ContextPolicy, Prediction, PredictorContext, SpeculativeCheckpoint,
+};

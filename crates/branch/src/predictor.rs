@@ -95,6 +95,47 @@ pub struct SpeculativeCheckpoint {
     ras: ReturnStack,
 }
 
+/// One recorded mutation of a [`BranchPredictor`], with its observed
+/// outcome where the entry point returns one.
+///
+/// Like `esp-mem`'s op log, every state-changing entry point appends one
+/// op while recording is on (see [`BranchPredictor::set_recording`]), so
+/// replaying the log in order against a fresh predictor of the same
+/// configuration and policy must reproduce every prediction outcome and
+/// the final per-context statistics. Checkpoints are positional: a
+/// replayer keeps its own LIFO stack, pushing on [`BpOp::Checkpoint`]
+/// and popping on [`BpOp::Restore`], mirroring the strictly nested
+/// checkpoint/restore discipline of the runahead and ESP window paths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BpOp {
+    /// A retiring branch was predicted and trained in `ctx`.
+    Predict {
+        /// The execution context.
+        ctx: PredictorContext,
+        /// The branch micro-op.
+        instr: Instr,
+        /// The outcome the real predictor returned.
+        outcome: Prediction,
+    },
+    /// A B-list branch was replay-trained ahead of retirement.
+    TrainAhead {
+        /// The replayed branch micro-op.
+        instr: Instr,
+    },
+    /// The replay PIR was aligned with the normal-mode PIR.
+    BeginReplay,
+    /// The return address stack was cleared.
+    ClearRas,
+    /// The normal context's speculative state was checkpointed.
+    Checkpoint,
+    /// The most recent outstanding checkpoint was restored.
+    Restore,
+    /// Event completion shifted the ESP contexts.
+    Promote,
+    /// Statistics were reset.
+    ResetStats,
+}
+
 /// The full Pentium-M-style predictor with ESP contexts.
 ///
 /// One call, [`BranchPredictor::predict_and_update`], performs the
@@ -116,6 +157,8 @@ pub struct BranchPredictor {
     replay_pir: PathInfoRegister,
     ras: ReturnStack,
     stats: [BranchStats; 3],
+    /// Side-effect log; `Some` only while recording is enabled.
+    ops: Option<Vec<BpOp>>,
 }
 
 impl BranchPredictor {
@@ -144,6 +187,29 @@ impl BranchPredictor {
             pirs: [PathInfoRegister::new(); 3],
             replay_pir: PathInfoRegister::new(),
             stats: [BranchStats::default(); 3],
+            ops: None,
+        }
+    }
+
+    /// Turns side-effect recording on or off. Turning it on starts a
+    /// fresh, empty log; turning it off discards any recorded ops.
+    pub fn set_recording(&mut self, on: bool) {
+        self.ops = on.then(Vec::new);
+    }
+
+    /// Takes the recorded op log, leaving an empty log behind (recording
+    /// stays on). Returns an empty vec when recording was never enabled.
+    pub fn take_ops(&mut self) -> Vec<BpOp> {
+        match self.ops.as_mut() {
+            Some(ops) => std::mem::take(ops),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, op: BpOp) {
+        if let Some(ops) = self.ops.as_mut() {
+            ops.push(op);
         }
     }
 
@@ -191,6 +257,7 @@ impl BranchPredictor {
     /// Resets statistics for all contexts (state is preserved).
     pub fn reset_stats(&mut self) {
         self.stats = [BranchStats::default(); 3];
+        self.record(BpOp::ResetStats);
     }
 
     fn pir_slot(&self, ctx: PredictorContext) -> usize {
@@ -284,6 +351,7 @@ impl BranchPredictor {
             _ => panic!("predict_and_update called on a non-branch: {instr:?}"),
         };
         self.stats[ctx.idx()].record(outcome == Prediction::Correct);
+        self.record(BpOp::Predict { ctx, instr: *instr, outcome });
         outcome
     }
 
@@ -291,6 +359,7 @@ impl BranchPredictor {
     /// from the B-list, along the private replay PIR. Returns nothing and
     /// records no statistics — this is training, not prediction.
     pub fn train_ahead(&mut self, instr: &Instr) {
+        self.record(BpOp::TrainAhead { instr: *instr });
         let table_slot = self.table_of[PredictorContext::Normal.idx()];
         let pc = instr.pc;
         match instr.kind {
@@ -318,7 +387,7 @@ impl BranchPredictor {
                 self.tables[table_slot].btb.update(pc, target);
                 self.replay_pir.update_taken(pc, target);
             }
-            InstrKind::Return { .. } | _ => {}
+            _ => {}
         }
     }
 
@@ -327,6 +396,7 @@ impl BranchPredictor {
     /// to the same table entries the real execution will.
     pub fn begin_replay(&mut self) {
         self.replay_pir = self.pirs[self.pir_slot(PredictorContext::Normal)];
+        self.record(BpOp::BeginReplay);
     }
 
     /// Clears the return address stack — done when the processor exits an
@@ -334,6 +404,7 @@ impl BranchPredictor {
     /// functions (§4.1).
     pub fn clear_ras(&mut self) {
         self.ras.clear();
+        self.record(BpOp::ClearRas);
     }
 
     /// Checkpoints the normal context's speculatively-clobberable state
@@ -341,7 +412,11 @@ impl BranchPredictor {
     /// load and restores it on exit, exactly as real runahead recovers
     /// its branch-history checkpoint; predictor *tables* keep their
     /// runahead training.
-    pub fn checkpoint_speculative(&self) -> SpeculativeCheckpoint {
+    ///
+    /// Takes `&mut self` only to note the checkpoint in the side-effect
+    /// log; the predictor's state is otherwise unchanged.
+    pub fn checkpoint_speculative(&mut self) -> SpeculativeCheckpoint {
+        self.record(BpOp::Checkpoint);
         SpeculativeCheckpoint {
             pir: self.pirs[PredictorContext::Normal.idx()],
             ras: self.ras.clone(),
@@ -352,6 +427,7 @@ impl BranchPredictor {
     pub fn restore_speculative(&mut self, cp: SpeculativeCheckpoint) {
         self.pirs[PredictorContext::Normal.idx()] = cp.pir;
         self.ras = cp.ras;
+        self.record(BpOp::Restore);
     }
 
     /// Event-completion shift: the ESP-2 context's state follows its event
@@ -360,6 +436,7 @@ impl BranchPredictor {
     /// move with their events, and the new current event's tables are the
     /// ones its own pre-execution warmed.
     pub fn promote_event(&mut self) {
+        self.record(BpOp::Promote);
         // PIRs: ESP-2's in-progress path history moves to the ESP-1 slot;
         // the fresh ESP-2 slot starts clean. The normal-mode PIR is the
         // architectural thread's and simply keeps evolving.
@@ -562,6 +639,56 @@ mod tests {
     fn non_branch_panics() {
         let mut p = bp(ContextPolicy::SeparatePir);
         p.predict_and_update(PredictorContext::Normal, &Instr::alu(Addr::new(0)));
+    }
+
+    #[test]
+    fn op_log_replays_to_identical_stats() {
+        let mut p = bp(ContextPolicy::SeparatePir);
+        p.set_recording(true);
+        let call = Instr::call(Addr::new(0x100), Addr::new(0x8000));
+        let ret = Instr::ret(Addr::new(0x8010), Addr::new(0x104));
+        let cond = Instr::cond_branch(Addr::new(0x200), true, Addr::new(0x40));
+        p.predict_and_update(PredictorContext::Normal, &call);
+        let cp = p.checkpoint_speculative();
+        p.predict_and_update(PredictorContext::Esp1, &cond);
+        p.clear_ras();
+        p.restore_speculative(cp);
+        p.begin_replay();
+        p.train_ahead(&cond);
+        p.predict_and_update(PredictorContext::Normal, &ret);
+        p.promote_event();
+        let ops = p.take_ops();
+        assert_eq!(ops.len(), 9);
+
+        // Shadow replay on a fresh predictor with an explicit LIFO
+        // checkpoint stack: every recorded outcome must reproduce.
+        let mut shadow = bp(ContextPolicy::SeparatePir);
+        let mut cps: Vec<SpeculativeCheckpoint> = Vec::new();
+        for op in &ops {
+            match *op {
+                BpOp::Predict { ctx, instr, outcome } => {
+                    assert_eq!(shadow.predict_and_update(ctx, &instr), outcome);
+                }
+                BpOp::TrainAhead { instr } => shadow.train_ahead(&instr),
+                BpOp::BeginReplay => shadow.begin_replay(),
+                BpOp::ClearRas => shadow.clear_ras(),
+                BpOp::Checkpoint => cps.push(shadow.checkpoint_speculative()),
+                BpOp::Restore => {
+                    shadow.restore_speculative(cps.pop().expect("unbalanced restore"));
+                }
+                BpOp::Promote => shadow.promote_event(),
+                BpOp::ResetStats => shadow.reset_stats(),
+            }
+        }
+        assert_eq!(shadow.stats_all(), p.stats_all());
+    }
+
+    #[test]
+    fn recording_off_keeps_no_log() {
+        let mut p = bp(ContextPolicy::SeparatePir);
+        let b = Instr::cond_branch(Addr::new(0x100), true, Addr::new(0x40));
+        p.predict_and_update(PredictorContext::Normal, &b);
+        assert!(p.take_ops().is_empty());
     }
 
     #[test]

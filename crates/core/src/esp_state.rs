@@ -245,7 +245,7 @@ impl<'w> EspState<'w> {
         // DESIGN.md. Under SharedAll ("no extra hardware") nothing is
         // saved: pollution is the point of that design variant.
         let shared_all = engine.bp().policy() == esp_branch::ContextPolicy::SharedAll;
-        let checkpoint = (!shared_all).then(|| engine.bp().checkpoint_speculative());
+        let checkpoint = (!shared_all).then(|| engine.bp_mut().checkpoint_speculative());
         let base_millis = 1000 / engine.config().machine.width as u64
             + engine.config().timing.issue_extra_millis;
         let total_millis = stall.cycles * 1000;

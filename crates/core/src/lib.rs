@@ -54,5 +54,5 @@ pub use esp_state::EspRunStats;
 pub use lineset::LineSet;
 pub use replay::{ReplayLists, ReplayStats};
 pub use report::RunReport;
-pub use simulator::Simulator;
+pub use simulator::{SideEffectLog, Simulator};
 pub use working_set::{percentile, WorkingSetReport};

@@ -203,4 +203,100 @@ mod tests {
             assert!(s.contains(k * 64));
         }
     }
+
+    /// Brute-forces keys that all hash to the table's *last* slot so the
+    /// linear probe chain must wrap around to slot 0 — the index
+    /// arithmetic edge the masked increment exists for.
+    #[test]
+    fn probe_chains_wrap_around_the_table_end() {
+        let mask = INITIAL_CAPACITY - 1;
+        let colliders: Vec<u64> =
+            (0..).filter(|&k| LineSet::slot_of(k, mask) == mask).take(5).collect();
+        assert_eq!(colliders.len(), 5);
+
+        let mut s = LineSet::new();
+        for &k in &colliders {
+            assert!(s.insert(k));
+        }
+        for &k in &colliders {
+            assert!(s.contains(k), "key {k} lost across the wraparound");
+            assert!(!s.insert(k), "key {k} duplicated across the wraparound");
+        }
+        // A sixth last-slot collider that was never inserted must probe
+        // through the whole wrapped chain and still come back absent.
+        let absent = (0..)
+            .filter(|&k| LineSet::slot_of(k, mask) == mask && !colliders.contains(&k))
+            .next()
+            .unwrap();
+        assert!(!s.contains(absent));
+        assert_eq!(s.len(), colliders.len());
+    }
+
+    /// The load-factor ceiling for the initial 64-slot table is 56 live
+    /// entries. Right at the ceiling every lookup must still terminate
+    /// (the epoch check needs at least one non-live slot), and the next
+    /// insert grows without losing anything.
+    #[test]
+    fn stays_correct_at_the_load_factor_ceiling() {
+        let ceiling = INITIAL_CAPACITY * LOAD_NUM / LOAD_DEN; // 56
+        let mut s = LineSet::new();
+        for k in 0..ceiling as u64 {
+            assert!(s.insert(k.wrapping_mul(0x51f3_c2e1) ^ 0xABCD));
+        }
+        assert_eq!(s.len(), ceiling);
+        for k in 0..ceiling as u64 {
+            assert!(s.contains(k.wrapping_mul(0x51f3_c2e1) ^ 0xABCD));
+        }
+        assert!(!s.contains(0xDEAD_BEEF_DEAD_BEEF));
+        // One more entry crosses the ceiling: the table doubles and the
+        // full contents survive the rehash.
+        assert!(s.insert(0x1234_5678_9ABC));
+        assert_eq!(s.len(), ceiling + 1);
+        for k in 0..ceiling as u64 {
+            assert!(s.contains(k.wrapping_mul(0x51f3_c2e1) ^ 0xABCD));
+        }
+    }
+
+    /// `grow` rebuilds the table and resets the epoch to 1. Entries that
+    /// were epoch-cleared *before* the grow must not resurrect when their
+    /// old stamped epochs coincide with the reset counter.
+    #[test]
+    fn cleared_entries_do_not_resurrect_across_grow() {
+        let mut s = LineSet::new();
+        let dead: Vec<u64> = (0..50).map(|k| k * 3 + 1_000_000).collect();
+        for &k in &dead {
+            s.insert(k);
+        }
+        s.clear();
+        // Force several grows purely with post-clear keys.
+        let live: Vec<u64> = (0..500).map(|k| k * 7 + 9).collect();
+        for &k in &live {
+            assert!(s.insert(k), "live key {k} rejected");
+        }
+        assert_eq!(s.len(), live.len());
+        for &k in &live {
+            assert!(s.contains(k));
+        }
+        for &k in &dead {
+            assert!(!s.contains(k), "cleared key {k} resurrected across grow");
+        }
+    }
+
+    /// Hundreds of epoch advances interleaved with inserts: every clear
+    /// must present a genuinely empty set, and re-inserting the same keys
+    /// must report them as fresh every round.
+    #[test]
+    fn repeated_clear_reinsert_rounds_stay_fresh() {
+        let mut s = LineSet::new();
+        for round in 0..300u64 {
+            assert!(s.is_empty(), "round {round} started non-empty");
+            for k in 0..40 {
+                assert!(s.insert(k), "round {round}: key {k} stale");
+            }
+            assert_eq!(s.len(), 40);
+            assert!(!s.contains(40));
+            s.clear();
+            assert!(!s.contains(0), "round {round}: clear left key 0 visible");
+        }
+    }
 }

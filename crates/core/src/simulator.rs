@@ -5,9 +5,11 @@ use crate::esp_state::EspState;
 use crate::lineset::LineSet;
 use crate::replay::ReplayState;
 use crate::report::RunReport;
-use esp_branch::PredictorContext;
+use esp_branch::{BpOp, PredictorContext};
 use esp_energy::{ActivityCounts, EnergyModel};
+use esp_mem::{HierarchySnapshot, MemOp};
 use esp_obs::{CycleClass, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender};
+use esp_stats::BranchStats;
 use esp_trace::{Instr, Workload};
 use esp_types::Addr;
 use esp_uarch::{Engine, StallKind};
@@ -17,6 +19,28 @@ use esp_uarch::{Engine, StallKind};
 const LOOPER_PC_BASE: u64 = 0x0040_0000;
 /// Data region of the looper's queue structures.
 const LOOPER_QUEUE_BASE: u64 = 0x0060_0000;
+
+/// Every externally observable side effect a run applied to its memory
+/// hierarchy and branch predictor, captured at the component boundary.
+///
+/// Produced by [`Simulator::run_logged`]. The `esp-check` oracle replays
+/// `mem_ops` and `bp_ops` against fresh components of the same
+/// configuration and asserts each recorded outcome and the final
+/// [`HierarchySnapshot`] / per-context [`BranchStats`] reproduce exactly
+/// — a differential check that the interval engine drives its
+/// components only through their public entry points and that those
+/// components are deterministic functions of their call sequence.
+#[derive(Clone, Debug)]
+pub struct SideEffectLog {
+    /// Every memory-hierarchy mutation, in program order.
+    pub mem_ops: Vec<MemOp>,
+    /// Per-level counters at end of run.
+    pub mem_snapshot: HierarchySnapshot,
+    /// Every branch-predictor mutation, in program order.
+    pub bp_ops: Vec<BpOp>,
+    /// Per-context prediction statistics at end of run.
+    pub bp_stats: [(PredictorContext, BranchStats); 3],
+}
 
 /// The ESP simulator: one machine configuration, runnable over any
 /// [`Workload`].
@@ -79,7 +103,33 @@ impl Simulator {
     /// [`RunSummary`]. Statically dispatched: `run` is this method
     /// monomorphized over the no-op probe, at identical speed.
     pub fn run_probed<P: Probe>(&self, workload: &dyn Workload, probe: &mut P) -> RunReport {
+        self.run_inner(workload, probe, false).0
+    }
+
+    /// [`Simulator::run_probed`] with component side-effect recording: on
+    /// top of the report, returns the [`SideEffectLog`] of every memory
+    /// and branch-predictor mutation the run performed, for differential
+    /// replay by `esp-check`.
+    pub fn run_logged<P: Probe>(
+        &self,
+        workload: &dyn Workload,
+        probe: &mut P,
+    ) -> (RunReport, SideEffectLog) {
+        let (report, log) = self.run_inner(workload, probe, true);
+        (report, log.expect("recording was requested"))
+    }
+
+    fn run_inner<P: Probe>(
+        &self,
+        workload: &dyn Workload,
+        probe: &mut P,
+        record: bool,
+    ) -> (RunReport, Option<SideEffectLog>) {
         let mut engine = Engine::new(self.config.engine.clone());
+        if record {
+            engine.mem_mut().set_recording(true);
+            engine.bp_mut().set_recording(true);
+        }
         let mut esp: Option<EspState<'_>> = match &self.config.mode {
             SimMode::Esp(f) => Some(EspState::new(*f, workload)),
             _ => None,
@@ -192,6 +242,12 @@ impl Simulator {
             let b2 = engine.bp().stats(PredictorContext::Esp2);
             (b1.total() + b2.total(), b1.mispredicted + b2.mispredicted)
         };
+        let log = record.then(|| SideEffectLog {
+            mem_ops: engine.mem_mut().take_ops(),
+            mem_snapshot: mem_snap,
+            bp_ops: engine.bp_mut().take_ops(),
+            bp_stats: engine.bp().stats_all(),
+        });
         let report = self.assemble_report(engine, esp, replay, events.len() as u64);
         probe.on_run(&RunSummary {
             total_cycles: report.total_cycles,
@@ -206,7 +262,7 @@ impl Simulator {
             esp_branches,
             esp_mispredicts,
         });
-        report
+        (report, log)
     }
 
     fn assemble_report(

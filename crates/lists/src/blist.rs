@@ -119,7 +119,7 @@ impl BList {
     fn dir_entry_cost(&mut self, pc: Addr) -> usize {
         let mut cost = 0;
         // Periodic headers: the first two entries of every group of 30.
-        if self.entries_written % GROUP == 0 {
+        if self.entries_written.is_multiple_of(GROUP) {
             cost += HEADER_ENTRIES * DIR_ENTRY_BITS;
             self.entries_written += HEADER_ENTRIES;
         }

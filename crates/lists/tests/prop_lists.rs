@@ -1,0 +1,181 @@
+//! Seeded property tests for the list capacity/eviction behaviour: bit
+//! accounting never overflows, "full" is sticky and freezes state, and
+//! the decoded records exactly reconstruct the accepted access stream.
+
+use esp_lists::{AddrList, BList, ListCapacities};
+use esp_trace::Instr;
+use esp_types::{Addr, LineAddr, Rng, SplitMix64};
+
+/// Drives one random access stream against an [`AddrList`], mirroring
+/// the accepted lines into a reference vector, and checks every
+/// invariant after every call.
+fn drive_addr_list(capacity_bytes: usize, seed: u64, calls: usize) {
+    let mut list = AddrList::new(capacity_bytes);
+    let mut rng = SplitMix64::new(seed);
+    // Accepted lines with consecutive duplicates removed must equal the
+    // concatenation of the decoded records' covered blocks: run folding
+    // and the escape encoding change *cost*, never *coverage*.
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut line: u64 = rng.below(1 << 20);
+    let mut went_full_at: Option<usize> = None;
+
+    for i in 0..calls {
+        // Mix of contiguous extensions, re-touches, near and far jumps.
+        line = match rng.below(10) {
+            0..=3 => line.wrapping_add(1),            // contiguous
+            4 => line,                                // re-touch
+            5..=7 => {
+                let d = rng.range(1, 120);
+                if rng.chance(0.5) { line.wrapping_add(d) } else { line.saturating_sub(d) }
+            }
+            _ => rng.below(1 << 20),                  // far jump
+        };
+        let ok = list.record(LineAddr::new(line), i as u64 * 3);
+        assert!(
+            list.used_bits() <= list.capacity_bits(),
+            "seed {seed}: bit accounting overflowed at call {i}"
+        );
+        if ok {
+            assert!(
+                went_full_at.is_none(),
+                "seed {seed}: record accepted after the list went full"
+            );
+            if accepted.last() != Some(&line) {
+                accepted.push(line);
+            }
+        } else {
+            assert!(list.is_full(), "seed {seed}: rejection without full flag");
+            went_full_at.get_or_insert(i);
+        }
+    }
+
+    let covered: Vec<u64> =
+        list.records().iter().flat_map(|r| r.lines().map(|l| l.as_u64())).collect();
+    assert_eq!(
+        covered, accepted,
+        "seed {seed}: decoded coverage diverged from the accepted stream"
+    );
+
+    // Once full, further records never mutate anything.
+    if list.is_full() {
+        let (len, bits) = (list.len(), list.used_bits());
+        assert!(!list.record(LineAddr::new(line.wrapping_add(1000)), 1 << 30));
+        assert_eq!(list.len(), len);
+        assert_eq!(list.used_bits(), bits);
+    }
+}
+
+#[test]
+fn addr_list_random_streams_hold_invariants() {
+    for seed in 0..24 {
+        // ESP-2-sized lists go full quickly; ESP-1-sized ones rarely do.
+        drive_addr_list(ListCapacities::esp2().i_list, seed, 400);
+        drive_addr_list(ListCapacities::esp1().i_list, seed, 400);
+    }
+}
+
+#[test]
+fn addr_list_clear_then_reuse_matches_fresh_list() {
+    // A cleared list must behave exactly like a brand-new one: replay
+    // the same stream into both and compare full decoded state.
+    let mut reused = AddrList::new(ListCapacities::esp2().d_list);
+    let mut rng = SplitMix64::new(99);
+    for i in 0..300 {
+        reused.record(LineAddr::new(rng.below(1 << 18)), i);
+    }
+    reused.clear();
+
+    let mut fresh = AddrList::new(ListCapacities::esp2().d_list);
+    let mut r1 = SplitMix64::new(7);
+    let mut r2 = SplitMix64::new(7);
+    for i in 0..300 {
+        let (a, b) = (r1.below(1 << 18), r2.below(1 << 18));
+        assert_eq!(reused.record(LineAddr::new(a), i), fresh.record(LineAddr::new(b), i));
+    }
+    assert_eq!(reused.records(), fresh.records());
+    assert_eq!(reused.used_bits(), fresh.used_bits());
+    assert_eq!(reused.is_full(), fresh.is_full());
+}
+
+#[test]
+fn addr_list_promotion_reevaluates_fullness_against_used_bits() {
+    let mut l = AddrList::new(ListCapacities::esp2().i_list);
+    let mut line = 0u64;
+    while l.record(LineAddr::new(line), 0) {
+        line += 500; // far jumps: every entry pays the escape cost
+    }
+    assert!(l.is_full());
+    let n = l.len();
+    // `full` latches on the first *rejected* record, so used bits sit
+    // below capacity; demotion under what is already stored must stay
+    // full and keep rejecting without mutating state.
+    let mut small = l.clone().promoted(1);
+    assert!(small.is_full());
+    assert!(!small.record(LineAddr::new(line + 2_000), 9));
+    assert_eq!(small.len(), n);
+    // Promotion into the ESP-1 capacity resumes recording.
+    let mut big = l.promoted(ListCapacities::esp1().i_list);
+    assert!(!big.is_full());
+    assert!(big.record(LineAddr::new(line + 1_000), 9));
+    assert_eq!(big.len(), n + 1);
+}
+
+fn random_branch(rng: &mut SplitMix64, pc: u64) -> Instr {
+    let target = Addr::new(rng.below(1 << 22) * 4);
+    match rng.below(4) {
+        0 => Instr::cond_branch(Addr::new(pc), rng.chance(0.6), target),
+        1 => Instr::indirect(Addr::new(pc), target),
+        2 => Instr::indirect_call(Addr::new(pc), target),
+        _ => Instr::call(Addr::new(pc), target),
+    }
+}
+
+#[test]
+fn blist_random_streams_hold_invariants() {
+    for seed in 0..24 {
+        let caps = ListCapacities::esp2();
+        let mut b = BList::new(caps.b_dir, caps.b_tgt);
+        let mut rng = SplitMix64::new(seed);
+        let mut pc = 0x1000u64;
+        let mut went_full = false;
+        for i in 0..600u64 {
+            pc = if rng.chance(0.7) {
+                pc + rng.range(4, 60) // near: one direction entry
+            } else {
+                rng.below(1 << 22) * 4 // far: extra spacing entry
+            };
+            let ok = b.record(&random_branch(&mut rng, pc), i);
+            assert!(b.dir_used_bits() <= caps.b_dir * 8, "seed {seed}: dir overflow");
+            assert!(b.tgt_used_bits() <= caps.b_tgt * 8, "seed {seed}: tgt overflow");
+            if went_full {
+                assert!(!ok, "seed {seed}: record accepted after full");
+            }
+            went_full |= !ok;
+            assert_eq!(b.is_full(), went_full, "seed {seed}: full flag out of sync");
+        }
+        assert!(went_full, "seed {seed}: 600 branches must exhaust an ESP-2 B-list");
+        assert_eq!(b.len(), b.records().len());
+    }
+}
+
+#[test]
+fn blist_target_capacity_degrades_indirect_records_first() {
+    // A target list too small for even one far entry: indirect branches
+    // keep being *recorded* (direction coverage survives) but lose their
+    // targets — the Fig. 8 asymmetry.
+    let mut b = BList::new(566, 2);
+    let mut pc = 0x4000u64;
+    for i in 0..40u64 {
+        pc += 24;
+        let far_target = Addr::new(pc + (1 << 20));
+        assert!(b.record(&Instr::indirect(Addr::new(pc), far_target), i));
+    }
+    assert!(!b.is_full());
+    assert_eq!(b.records().len(), 40);
+    assert!(
+        b.records().iter().all(|r| r.indirect && r.target.is_none()),
+        "targets must be dropped once B-List-Target is exhausted"
+    );
+    // Direction-only records replay as nothing, not as garbage.
+    assert!(b.records().iter().all(|r| r.to_instr().is_none()));
+}

@@ -93,7 +93,7 @@ impl CacheConfig {
             )));
         }
         let denom = self.line_bytes * self.ways as u64;
-        if self.size_bytes % denom != 0 {
+        if !self.size_bytes.is_multiple_of(denom) {
             return Err(Error::invalid_config(format!(
                 "{}: size {} is not a multiple of ways*line ({})",
                 self.name, self.size_bytes, denom

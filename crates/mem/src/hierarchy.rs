@@ -41,6 +41,78 @@ pub struct ServedAccess {
     pub l1_miss: bool,
 }
 
+/// One recorded mutation of a [`MemoryHierarchy`], with its observed
+/// result.
+///
+/// Every state-changing entry point of the hierarchy appends one op when
+/// recording is enabled (see [`MemoryHierarchy::set_recording`]), so an
+/// op log replayed in order against a fresh hierarchy of the same
+/// configuration must reproduce the original per-op results and final
+/// statistics exactly. The `esp-check` differential oracle relies on
+/// this: any hidden mutation path or nondeterminism shows up as a replay
+/// divergence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// A demand instruction fetch and the access result it returned.
+    AccessInstr {
+        /// The fetched line.
+        line: LineAddr,
+        /// Access time.
+        now: Cycle,
+        /// The result the real hierarchy returned.
+        served: ServedAccess,
+    },
+    /// A demand data access and the access result it returned.
+    AccessData {
+        /// The accessed line.
+        line: LineAddr,
+        /// Access time.
+        now: Cycle,
+        /// Whether the access was a store.
+        store: bool,
+        /// The result the real hierarchy returned.
+        served: ServedAccess,
+    },
+    /// An instruction-side prefetch request.
+    PrefetchInstr {
+        /// The prefetched line.
+        line: LineAddr,
+        /// Request time.
+        now: Cycle,
+        /// Whether the line was installed in L1-I as well as L2.
+        into_l1: bool,
+        /// Whether the request was non-redundant.
+        issued: bool,
+    },
+    /// A data-side prefetch request.
+    PrefetchData {
+        /// The prefetched line.
+        line: LineAddr,
+        /// Request time.
+        now: Cycle,
+        /// Whether the line was installed in L1-D as well as L2.
+        into_l1: bool,
+        /// Whether the request was non-redundant.
+        issued: bool,
+    },
+    /// An idealised zero-latency instruction prefetch.
+    PrefetchInstrInstant {
+        /// The prefetched line.
+        line: LineAddr,
+        /// Fill time.
+        now: Cycle,
+    },
+    /// An idealised zero-latency data prefetch.
+    PrefetchDataInstant {
+        /// The prefetched line.
+        line: LineAddr,
+        /// Fill time.
+        now: Cycle,
+    },
+    /// Statistics were reset.
+    ResetStats,
+}
+
 /// The L1-I/L1-D/L2/DRAM demand path, with prefetch entry points.
 ///
 /// Fills performed on behalf of demand accesses complete `latency` cycles
@@ -68,6 +140,8 @@ pub struct MemoryHierarchy {
     l1d: SetAssocCache,
     l2: SetAssocCache,
     mem_latency: u64,
+    /// Side-effect op log, populated only while recording is enabled.
+    ops: Option<Vec<MemOp>>,
 }
 
 impl MemoryHierarchy {
@@ -83,6 +157,29 @@ impl MemoryHierarchy {
             l1d: SetAssocCache::new(config.l1d),
             l2: SetAssocCache::new(config.l2),
             mem_latency: config.mem_latency,
+            ops: None,
+        }
+    }
+
+    /// Turns side-effect recording on or off. Enabling starts a fresh
+    /// [`MemOp`] log; disabling drops any pending log.
+    pub fn set_recording(&mut self, on: bool) {
+        self.ops = on.then(Vec::new);
+    }
+
+    /// Takes the recorded op log, leaving recording enabled with an
+    /// empty log. Returns an empty vector when recording was never on.
+    pub fn take_ops(&mut self) -> Vec<MemOp> {
+        match self.ops.as_mut() {
+            Some(ops) => std::mem::take(ops),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, op: MemOp) {
+        if let Some(ops) = self.ops.as_mut() {
+            ops.push(op);
         }
     }
 
@@ -121,6 +218,7 @@ impl MemoryHierarchy {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.l2.reset_stats();
+        self.record(MemOp::ResetStats);
     }
 
     fn access_via(
@@ -184,14 +282,18 @@ impl MemoryHierarchy {
 
     /// A demand instruction fetch of `line` at time `now`.
     pub fn access_instr(&mut self, line: LineAddr, now: Cycle) -> ServedAccess {
-        Self::access_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now)
+        let served = Self::access_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now);
+        self.record(MemOp::AccessInstr { line, now, served });
+        served
     }
 
     /// A demand data access of `line` at time `now`. Stores and loads are
     /// timed identically here (write-allocate); the core model decides how
     /// much of the latency a store exposes.
-    pub fn access_data(&mut self, line: LineAddr, now: Cycle, _is_store: bool) -> ServedAccess {
-        Self::access_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now)
+    pub fn access_data(&mut self, line: LineAddr, now: Cycle, is_store: bool) -> ServedAccess {
+        let served = Self::access_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now);
+        self.record(MemOp::AccessData { line, now, store: is_store, served });
+        served
     }
 
     fn prefetch_via(
@@ -226,12 +328,18 @@ impl MemoryHierarchy {
     /// line is installed in both L1-I and L2, otherwise only in L2.
     /// Returns `false` when the request was redundant.
     pub fn prefetch_instr(&mut self, line: LineAddr, now: Cycle, into_l1: bool) -> bool {
-        Self::prefetch_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now, into_l1)
+        let issued =
+            Self::prefetch_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now, into_l1);
+        self.record(MemOp::PrefetchInstr { line, now, into_l1, issued });
+        issued
     }
 
     /// Prefetches `line` toward the data side (see [`Self::prefetch_instr`]).
     pub fn prefetch_data(&mut self, line: LineAddr, now: Cycle, into_l1: bool) -> bool {
-        Self::prefetch_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now, into_l1)
+        let issued =
+            Self::prefetch_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now, into_l1);
+        self.record(MemOp::PrefetchData { line, now, into_l1, issued });
+        issued
     }
 
     /// An idealised prefetch that completes instantly (used by the "ideal
@@ -240,12 +348,14 @@ impl MemoryHierarchy {
     pub fn prefetch_instr_instant(&mut self, line: LineAddr, now: Cycle) {
         self.l2.fill(line, now, now, true);
         self.l1i.fill(line, now, now, true);
+        self.record(MemOp::PrefetchInstrInstant { line, now });
     }
 
     /// Data-side twin of [`Self::prefetch_instr_instant`].
     pub fn prefetch_data_instant(&mut self, line: LineAddr, now: Cycle) {
         self.l2.fill(line, now, now, true);
         self.l1d.fill(line, now, now, true);
+        self.record(MemOp::PrefetchDataInstant { line, now });
     }
 
     /// The latency an ESP-mode access bypassing the L1s would see: an L2
@@ -378,6 +488,56 @@ mod tests {
         let occupancy = m.l2().occupancy();
         m.bypass_latency(LineAddr::new(888));
         assert_eq!(m.l2().occupancy(), occupancy);
+    }
+
+    #[test]
+    fn op_log_replays_to_identical_state() {
+        let mut m = mem();
+        m.set_recording(true);
+        m.access_instr(LineAddr::new(10), Cycle::ZERO);
+        m.access_data(LineAddr::new(20), Cycle::new(5), false);
+        m.access_data(LineAddr::new(20), Cycle::new(50), true);
+        m.prefetch_instr(LineAddr::new(11), Cycle::new(60), true);
+        m.prefetch_data_instant(LineAddr::new(30), Cycle::new(70));
+        m.reset_stats();
+        m.access_data(LineAddr::new(30), Cycle::new(80), false);
+        let ops = m.take_ops();
+        assert_eq!(ops.len(), 7);
+
+        let mut shadow = mem();
+        for op in &ops {
+            match *op {
+                MemOp::AccessInstr { line, now, served } => {
+                    assert_eq!(shadow.access_instr(line, now), served);
+                }
+                MemOp::AccessData { line, now, store, served } => {
+                    assert_eq!(shadow.access_data(line, now, store), served);
+                }
+                MemOp::PrefetchInstr { line, now, into_l1, issued } => {
+                    assert_eq!(shadow.prefetch_instr(line, now, into_l1), issued);
+                }
+                MemOp::PrefetchData { line, now, into_l1, issued } => {
+                    assert_eq!(shadow.prefetch_data(line, now, into_l1), issued);
+                }
+                MemOp::PrefetchInstrInstant { line, now } => {
+                    shadow.prefetch_instr_instant(line, now);
+                }
+                MemOp::PrefetchDataInstant { line, now } => shadow.prefetch_data_instant(line, now),
+                MemOp::ResetStats => shadow.reset_stats(),
+            }
+        }
+        assert_eq!(shadow.snapshot(), m.snapshot());
+    }
+
+    #[test]
+    fn recording_off_keeps_no_log() {
+        let mut m = mem();
+        m.access_instr(LineAddr::new(1), Cycle::ZERO);
+        assert!(m.take_ops().is_empty());
+        m.set_recording(true);
+        m.access_instr(LineAddr::new(2), Cycle::ZERO);
+        m.set_recording(false);
+        assert!(m.take_ops().is_empty(), "disabling drops the pending log");
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub mod prefetch;
 pub use cache::{AccessResult, SetAssocCache};
 pub use cachelet::{Cachelet, CacheletSlot};
 pub use config::{CacheConfig, HierarchyConfig};
-pub use hierarchy::{HierarchySnapshot, MemLevel, MemoryHierarchy, ServedAccess};
+pub use hierarchy::{HierarchySnapshot, MemLevel, MemOp, MemoryHierarchy, ServedAccess};

@@ -33,6 +33,6 @@ mod trace;
 
 pub use cpi::{CpiStack, CycleClass};
 pub use probe::{
-    CpiObserver, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender,
+    CpiObserver, EventSpan, NullProbe, Probe, RunSummary, StepRecord, WindowRecord, WindowSpender,
 };
 pub use trace::{push_json_str, TraceProbe};

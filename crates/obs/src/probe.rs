@@ -91,6 +91,43 @@ pub struct RunSummary {
     pub esp_mispredicts: u64,
 }
 
+/// Per-retired-instruction timing facts, emitted by the interval
+/// engine's normal-mode step just before the instruction is counted as
+/// retired.
+///
+/// This is the raw material of the `esp-check` reference oracle: each
+/// field is the engine's *full* (unoverlapped) cost for that component,
+/// so summing them across a run yields the cycle count of a strictly
+/// in-order machine that hides nothing — a provable upper bound on the
+/// interval model's overlapped time. All latencies are in whole cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Whether the instruction is a branch.
+    pub is_branch: bool,
+    /// L1-I demand accesses this step issued (0 when the fetch line was
+    /// already in flight or instruction fetch is modelled perfect).
+    pub fetched: u64,
+    /// Full latency of the instruction fetch, hit latency included
+    /// (0 when `fetched == 0`).
+    pub fetch_latency: u64,
+    /// Whether the fetch missed in the L1-I.
+    pub l1i_miss: bool,
+    /// Branch re-steer penalty charged (0 for correct predictions and
+    /// non-branches).
+    pub branch_penalty: u64,
+    /// Whether the branch was a full misprediction.
+    pub mispredict: bool,
+    /// Whether the branch was a decode-stage misfetch.
+    pub misfetch: bool,
+    /// Whether the instruction accessed the data cache (load or store).
+    pub data_access: bool,
+    /// Full latency of the data access, hit latency included (0 for
+    /// stores, non-memory instructions, and perfect-L1-D runs).
+    pub data_latency: u64,
+    /// Whether the data access missed in the L1-D.
+    pub l1d_miss: bool,
+}
+
 /// A statically dispatched observer of the simulation.
 ///
 /// Every method has an empty default body and every call site is
@@ -104,6 +141,14 @@ pub trait Probe {
     #[inline]
     fn on_stall(&mut self, class: CycleClass, cycles: u64, now: Cycle) {
         let _ = (class, cycles, now);
+    }
+
+    /// A normal-mode instruction is about to retire; `r` carries its
+    /// unoverlapped component costs. Fires once per retired instruction,
+    /// so implementations must be cheap; the default compiles away.
+    #[inline]
+    fn on_step(&mut self, r: &StepRecord) {
+        let _ = r;
     }
 
     /// A stall window was handed to a pre-execution scheme and spent.

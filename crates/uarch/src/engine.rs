@@ -4,7 +4,7 @@ use crate::EngineConfig;
 use esp_branch::{BranchPredictor, Prediction, PredictorContext};
 use esp_mem::prefetch::{DcuNextLine, NextLineInstr, StridePrefetcher};
 use esp_mem::MemoryHierarchy;
-use esp_obs::{CpiStack, CycleClass, NullProbe, Probe};
+use esp_obs::{CpiStack, CycleClass, NullProbe, Probe, StepRecord};
 use esp_trace::{Instr, InstrKind};
 use esp_types::{Cycle, LineAddr};
 
@@ -259,6 +259,9 @@ impl Engine {
     /// exact same code as the unprobed path.
     pub fn step_probed<P: Probe>(&mut self, instr: &Instr, probe: &mut P) -> StepOutcome {
         let mut out = StepOutcome::default();
+        // Unoverlapped per-component costs for the reference oracle; with
+        // `NullProbe` the accumulation is dead code and compiles away.
+        let mut rec = StepRecord { is_branch: instr.is_branch(), ..StepRecord::default() };
         self.charge_base();
 
         // ---- instruction fetch ------------------------------------------
@@ -280,6 +283,9 @@ impl Engine {
                         self.mem.prefetch_instr(p, t_access, true);
                     }
                 }
+                rec.fetched = 1;
+                rec.fetch_latency = r.latency;
+                rec.l1i_miss = r.l1_miss;
                 if r.l1_miss {
                     self.stats.l1i_misses += 1;
                     out.l1i_miss = true;
@@ -315,17 +321,20 @@ impl Engine {
             };
             let penalty = self.bp.penalty_of(outcome);
             self.now += penalty;
+            rec.branch_penalty = penalty;
             match outcome {
                 Prediction::Mispredict => {
                     self.stack.charge(CycleClass::BranchMispredict, penalty);
                     probe.on_stall(CycleClass::BranchMispredict, penalty, self.now);
                     self.stats.mispredicts += 1;
                     out.mispredict = true;
+                    rec.mispredict = true;
                 }
                 Prediction::Misfetch => {
                     self.stack.charge(CycleClass::BranchMisfetch, penalty);
                     probe.on_stall(CycleClass::BranchMisfetch, penalty, self.now);
                     self.stats.misfetches += 1;
+                    rec.misfetch = true;
                 }
                 Prediction::Correct => {}
             }
@@ -349,6 +358,9 @@ impl Engine {
                         self.mem.prefetch_data(p, t_access, true);
                     }
                 }
+                rec.data_access = true;
+                rec.data_latency = r.latency;
+                rec.l1d_miss = r.l1_miss;
                 if r.l1_miss {
                     self.stats.l1d_misses += 1;
                     out.l1d_miss = true;
@@ -390,6 +402,8 @@ impl Engine {
                 self.stats.l1d_accesses += 1;
                 let line = addr.line(line_bytes);
                 let r = self.mem.access_data(line, self.now, true);
+                rec.data_access = true;
+                rec.l1d_miss = r.l1_miss;
                 if r.l1_miss {
                     self.stats.l1d_misses += 1;
                     out.l1d_miss = true;
@@ -403,6 +417,7 @@ impl Engine {
             _ => {}
         }
 
+        probe.on_step(&rec);
         self.stats.retired += 1;
         out
     }

@@ -78,7 +78,7 @@ impl Engine {
         data_only: bool,
     ) -> RunaheadOutcome {
         let mut cursor = stream.fork();
-        let checkpoint = self.bp().checkpoint_speculative();
+        let checkpoint = self.bp_mut().checkpoint_speculative();
         let mut out = RunaheadOutcome::default();
         // Entering and leaving runahead each cost a pipeline drain/refill
         // that the episode pays out of its own window, like the ESP-mode
@@ -144,7 +144,8 @@ impl Engine {
                 budget_millis = budget_millis.saturating_sub(penalty);
                 if outcome == esp_branch::Prediction::Mispredict {
                     let unresolvable =
-                        esp_types::SplitMix64::derive(instr.pc.as_u64(), out.instrs) % 2 == 0;
+                        esp_types::SplitMix64::derive(instr.pc.as_u64(), out.instrs)
+                            .is_multiple_of(2);
                     if unresolvable {
                         out.wrong_path = true;
                         break;

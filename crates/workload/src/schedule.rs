@@ -84,7 +84,7 @@ impl Schedule {
         let mut t = 0.0f64;
         let mut i = 0usize;
         while i < details.len() {
-            let burst = 1 + rng.below((2.0 * params.mean_burst) as u64).max(0) as usize;
+            let burst = 1 + rng.below((2.0 * params.mean_burst) as u64) as usize;
             let burst_end = (i + burst).min(details.len());
             let mut burst_work = 0u64;
             for d in &details[i..burst_end] {

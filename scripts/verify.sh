@@ -15,6 +15,12 @@ cargo build --release
 echo "== tier-1: cargo test -q (workspace) =="
 cargo test -q --workspace
 
+echo "== lint: cargo clippy --all-targets (warnings denied) =="
+cargo clippy --all-targets --quiet -- -D warnings
+
+echo "== correctness: oracle matrix + seeded fuzz smoke (esp-check) =="
+cargo run --release -q -p esp-bench --bin repro -- --scale 30000 --fuzz 8 check
+
 echo "== determinism: parallel runner == sequential simulation =="
 cargo test -q --release -p esp-bench --test determinism
 

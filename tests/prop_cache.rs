@@ -65,7 +65,7 @@ fn small_cache() -> SetAssocCache {
 /// reference LRU model.
 #[test]
 fn matches_reference_lru() {
-    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0001);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x000C_AC4E_0001);
     for case in 0..64 {
         let len = rng.range(1, 300) as usize;
         let lines: Vec<u64> = (0..len).map(|_| rng.below(64)).collect();
@@ -87,7 +87,7 @@ fn matches_reference_lru() {
 /// Occupancy never exceeds capacity and probes agree with accesses.
 #[test]
 fn occupancy_and_probe_consistency() {
-    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0002);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x000C_AC4E_0002);
     for case in 0..64 {
         let len = rng.range(1, 200) as usize;
         let lines: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
@@ -108,7 +108,7 @@ fn occupancy_and_probe_consistency() {
 /// latency never exceeds the fill distance.
 #[test]
 fn partial_hit_latencies() {
-    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0003);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x000C_AC4E_0003);
     for case in 0..256 {
         let delay = rng.range(1, 500);
         let probe_at = rng.below(600);
@@ -133,7 +133,7 @@ fn partial_hit_latencies() {
 /// Invalidation removes exactly the target line.
 #[test]
 fn invalidate_is_precise() {
-    let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E_0004);
+    let mut rng = Xoshiro256pp::seed_from_u64(0x000C_AC4E_0004);
     for case in 0..64 {
         let a = rng.below(64);
         let b = (a + rng.range(1, 64)) % 64; // distinct from a by construction
