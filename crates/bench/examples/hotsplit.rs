@@ -1,0 +1,54 @@
+//! Per-configuration cost split for the evaluation matrix.
+//!
+//! A profiling companion to `repro bench` (see `docs/PERFORMANCE.md`):
+//! where `bench` times the whole 7-profile × 29-config matrix, this
+//! probe takes one profile (amazon, the reference benchmark) and
+//! prints, per machine configuration, the wall time of a single
+//! simulation next to its retired/speculative/runahead instruction
+//! counts — so a regression can be attributed to a config family
+//! (ESP list replay? runahead episodes? plain baseline?) before
+//! reaching for a sampling profiler.
+//!
+//! The first line is the floor: draining every packed cursor once with
+//! no simulator attached, i.e. the pure replay cost a simulation pays
+//! before any timing model runs.
+//!
+//! Run: `cargo run --release -p esp-bench --example hotsplit`
+
+use esp_bench::ConfigKey;
+use esp_core::Simulator;
+use esp_trace::{EventStream, Workload};
+use esp_workload::{arena, BenchmarkProfile};
+use std::time::Instant;
+
+fn main() {
+    let scale = 600_000;
+    let seed = 42;
+    let profile = BenchmarkProfile::amazon().scaled(scale);
+    let packed = arena::packed_for(&profile, seed, 1);
+
+    // Replay floor: drain every actual cursor once, no simulator.
+    let t = Instant::now();
+    let mut n = 0u64;
+    for r in packed.events() {
+        let mut c = packed.arena().event(r.id.index() as usize).actual_cursor();
+        while let Some(i) = c.next_instr() {
+            n += u64::from(i.is_branch());
+        }
+    }
+    let decode = t.elapsed().as_secs_f64();
+    println!("cursor-drain floor: {decode:.3}s ({n} branches)");
+
+    for key in ConfigKey::all() {
+        let t = Instant::now();
+        let report = Simulator::new(key.config()).run(&*packed);
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "{:>28}: {dt:.3}s retired={} spec={} runahead={}",
+            format!("{key:?}"),
+            report.engine.retired,
+            report.esp.spec_instrs(),
+            report.engine.runahead_instrs,
+        );
+    }
+}

@@ -12,7 +12,8 @@
 use crate::runner::FigureReport;
 use esp_core::{RunReport, SimConfig, SimMode, Simulator};
 use esp_stats::{improvement_pct, Table};
-use esp_workload::BenchmarkProfile;
+use esp_trace::Workload;
+use esp_workload::{arena, BenchmarkProfile};
 
 fn esp_with(mutate: impl FnOnce(&mut esp_core::EspFeatures)) -> SimConfig {
     let mut cfg = SimConfig::esp_nl();
@@ -22,18 +23,24 @@ fn esp_with(mutate: impl FnOnce(&mut esp_core::EspFeatures)) -> SimConfig {
     cfg
 }
 
-fn run(cfg: SimConfig, w: &esp_workload::GeneratedWorkload) -> RunReport {
+fn run(cfg: SimConfig, w: &dyn Workload) -> RunReport {
     Simulator::new(cfg).run(w)
+}
+
+/// The sweep's memoised packed workload: decoded once per (profile,
+/// scale, seed) process-wide, replayed by every sweep point.
+fn packed(profile: BenchmarkProfile, scale: u64, seed: u64) -> std::sync::Arc<esp_trace::PackedWorkload> {
+    arena::packed_for(&profile.scaled(scale), seed, esp_par::threads())
 }
 
 /// Sweeps the list-prefetch lead distance (§3.6 fixes 190).
 pub fn prefetch_lead(scale: u64, seed: u64) -> FigureReport {
-    let w = BenchmarkProfile::amazon().scaled(scale).build(seed);
+    let w = packed(BenchmarkProfile::amazon(), scale, seed);
     const LEADS: [u64; 5] = [16, 64, 190, 500, 1500];
     // One job per sweep point plus the NL baseline, all on the pool.
     let mut configs = vec![SimConfig::next_line()];
     configs.extend(LEADS.iter().map(|&lead| esp_with(|f| f.prefetch_lead_instrs = lead)));
-    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &w));
+    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &*w));
     let nl = &reports[0];
     let mut t = Table::with_headers(&["lead (instrs)", "speedup over NL %", "I-MPKI"]);
     for (lead, r) in LEADS.iter().zip(&reports[1..]) {
@@ -58,10 +65,10 @@ pub fn prefetch_lead(scale: u64, seed: u64) -> FigureReport {
 /// Sweeps the B-list training lead (§3.6: "a preset number of branches
 /// ahead ... neither too far in the future nor too short").
 pub fn bp_train_lead(scale: u64, seed: u64) -> FigureReport {
-    let w = BenchmarkProfile::cnn().scaled(scale).build(seed);
+    let w = packed(BenchmarkProfile::cnn(), scale, seed);
     const LEADS: [u64; 5] = [2, 10, 30, 100, 400];
     let reports = esp_par::parallel_map(esp_par::threads(), &LEADS, |_, &lead| {
-        run(esp_with(|f| f.bp_train_lead_branches = lead), &w)
+        run(esp_with(|f| f.bp_train_lead_branches = lead), &*w)
     });
     let mut t = Table::with_headers(&["lead (branches)", "mispredict %"]);
     for (lead, r) in LEADS.iter().zip(&reports) {
@@ -77,10 +84,10 @@ pub fn bp_train_lead(scale: u64, seed: u64) -> FigureReport {
 
 /// Sweeps the jump-ahead depth (§3.1 fixes 2).
 pub fn depth(scale: u64, seed: u64) -> FigureReport {
-    let w = BenchmarkProfile::facebook().scaled(scale).build(seed);
+    let w = packed(BenchmarkProfile::facebook(), scale, seed);
     let mut configs = vec![SimConfig::next_line()];
     configs.extend((1usize..=4).map(|d| esp_with(|f| f.depth = d)));
-    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &w));
+    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &*w));
     let nl = &reports[0];
     let mut t = Table::with_headers(&[
         "depth",
@@ -110,7 +117,7 @@ pub fn depth(scale: u64, seed: u64) -> FigureReport {
 
 /// Sweeps the looper prologue length (§3.6 observes ~70 instructions).
 pub fn looper_window(scale: u64, seed: u64) -> FigureReport {
-    let w = BenchmarkProfile::bing().scaled(scale).build(seed);
+    let w = packed(BenchmarkProfile::bing(), scale, seed);
     const WINDOWS: [u32; 4] = [0, 20, 70, 200];
     // Keep the baseline comparable: same looper cost on both sides —
     // one (NL, ESP) config pair per sweep point, all on the pool.
@@ -124,7 +131,7 @@ pub fn looper_window(scale: u64, seed: u64) -> FigureReport {
             [nl_cfg, cfg]
         })
         .collect();
-    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &w));
+    let reports = esp_par::parallel_map(esp_par::threads(), &configs, |_, cfg| run(cfg.clone(), &*w));
     let mut t = Table::with_headers(&["looper instrs", "speedup over NL %"]);
     for (k, n) in WINDOWS.iter().enumerate() {
         let (nl_r, r) = (&reports[2 * k], &reports[2 * k + 1]);
@@ -169,9 +176,9 @@ mod tests {
 
     #[test]
     fn depth_sweep_monotone_spec_instrs() {
-        let w = BenchmarkProfile::amazon().scaled(40_000).build(5);
-        let shallow = run(esp_with(|f| f.depth = 1), &w);
-        let deep = run(esp_with(|f| f.depth = 3), &w);
+        let w = packed(BenchmarkProfile::amazon(), 40_000, 5);
+        let shallow = run(esp_with(|f| f.depth = 1), &*w);
+        let deep = run(esp_with(|f| f.depth = 3), &*w);
         assert!(deep.esp.spec_instrs() >= shallow.esp.spec_instrs());
     }
 }

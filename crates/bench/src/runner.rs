@@ -9,11 +9,14 @@
 use esp_core::{RunReport, SimConfig, Simulator};
 use esp_obs::TraceProbe;
 use esp_stats::Table;
+use esp_trace::PackedWorkload;
 use esp_uarch::PerfectFlags;
-use esp_workload::{BenchmarkProfile, GeneratedWorkload};
+use esp_workload::{arena, BenchmarkProfile, GeneratedWorkload};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Every machine configuration the evaluation compares, as a nameable
 /// key (so runs can be cached and reports labelled consistently).
@@ -194,15 +197,39 @@ impl FigureReport {
     }
 }
 
+/// Wall-clock seconds a [`Runner`] spent in each phase of its lifetime:
+/// generating workloads, materialising packed trace arenas, and running
+/// simulations. Warm (memoised) phases report the near-zero cache-lookup
+/// time actually spent, not the cost of the original cold build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseSeconds {
+    /// Seed → [`GeneratedWorkload`] generation.
+    pub generate: f64,
+    /// Walk → packed arena materialisation (decode-once).
+    pub materialise: f64,
+    /// Accumulated simulation time across every [`Runner::ensure`] batch.
+    pub simulate: f64,
+}
+
 /// A caching simulation runner: one workload per benchmark profile, one
 /// memoised [`RunReport`] per (profile, configuration), with parallel
 /// batch execution of whatever the figures plan ahead via
 /// [`Runner::ensure`].
+///
+/// Instruction streams are decoded once: construction materialises each
+/// profile's workload into a packed [`TraceArena`](esp_trace::TraceArena)
+/// (memoised process-wide in [`esp_workload::arena`], so a second runner
+/// at the same scale/seed is warm), and every simulation replays the
+/// shared arena through allocation-free cursors instead of regenerating
+/// its streams — see `docs/PERFORMANCE.md`.
 pub struct Runner {
     scale: u64,
     seed: u64,
     threads: usize,
-    workloads: Vec<(BenchmarkProfile, GeneratedWorkload)>,
+    profiles: Vec<BenchmarkProfile>,
+    generated: Vec<Arc<GeneratedWorkload>>,
+    packed: Vec<Arc<PackedWorkload>>,
+    phases: PhaseSeconds,
     cache: HashMap<(usize, ConfigKey), RunReport>,
     sims_run: u64,
     /// JSONL trace sink; when set, every simulation runs with a
@@ -223,8 +250,34 @@ impl Runner {
     /// Like [`Runner::new`] with an explicit worker-thread count.
     pub fn with_threads(scale: u64, seed: u64, threads: usize) -> Self {
         let threads = threads.max(1);
-        let workloads = BenchmarkProfile::build_all_scaled(scale, seed, threads);
-        Runner { scale, seed, threads, workloads, cache: HashMap::new(), sims_run: 0, trace: None }
+        let profiles: Vec<BenchmarkProfile> =
+            BenchmarkProfile::all().iter().map(|p| p.scaled(scale)).collect();
+        let t = Instant::now();
+        let generated: Vec<Arc<GeneratedWorkload>> =
+            esp_par::parallel_map(threads, &profiles, |_, p| arena::generated(p, seed));
+        let generate = t.elapsed().as_secs_f64();
+        // Materialise profiles one after another, fanning the per-event
+        // decode of each over the pool: events outnumber profiles, so
+        // this balances better than one thread per profile.
+        let t = Instant::now();
+        let packed: Vec<Arc<PackedWorkload>> = profiles
+            .iter()
+            .zip(&generated)
+            .map(|(p, w)| arena::packed(p, w, seed, threads))
+            .collect();
+        let materialise = t.elapsed().as_secs_f64();
+        Runner {
+            scale,
+            seed,
+            threads,
+            profiles,
+            generated,
+            packed,
+            phases: PhaseSeconds { generate, materialise, simulate: 0.0 },
+            cache: HashMap::new(),
+            sims_run: 0,
+            trace: None,
+        }
     }
 
     /// Routes a JSONL trace of every subsequent simulation to `path`
@@ -263,12 +316,22 @@ impl Runner {
 
     /// Benchmark names in presentation order.
     pub fn names(&self) -> Vec<&'static str> {
-        self.workloads.iter().map(|(p, _)| p.name()).collect()
+        self.profiles.iter().map(|p| p.name()).collect()
     }
 
     /// The profiles and their generated workloads.
-    pub fn workloads(&self) -> &[(BenchmarkProfile, GeneratedWorkload)] {
-        &self.workloads
+    pub fn workloads(&self) -> impl Iterator<Item = (&BenchmarkProfile, &GeneratedWorkload)> {
+        self.profiles.iter().zip(self.generated.iter().map(Arc::as_ref))
+    }
+
+    /// Wall-clock seconds spent per phase so far.
+    pub fn phase_seconds(&self) -> PhaseSeconds {
+        self.phases
+    }
+
+    /// Heap bytes resident in the packed trace arenas of all profiles.
+    pub fn arena_resident_bytes(&self) -> u64 {
+        self.packed.iter().map(|p| p.resident_bytes()).sum()
     }
 
     /// Executes every not-yet-cached `(profile, key)` pair of the plan
@@ -282,7 +345,7 @@ impl Runner {
     pub fn ensure(&mut self, keys: &[ConfigKey]) {
         let mut pairs: Vec<(usize, ConfigKey)> = Vec::new();
         for &key in keys {
-            for i in 0..self.workloads.len() {
+            for i in 0..self.profiles.len() {
                 let pair = (i, key);
                 if !self.cache.contains_key(&pair) && !pairs.contains(&pair) {
                     pairs.push(pair);
@@ -292,18 +355,23 @@ impl Runner {
         if pairs.is_empty() {
             return;
         }
-        let workloads = &self.workloads;
+        let profiles = &self.profiles;
+        let packed = &self.packed;
         let tracing = self.trace.is_some();
+        let t = Instant::now();
         let results = esp_par::parallel_map(self.threads, &pairs, |_, &(i, key)| {
-            let (profile, workload) = &workloads[i];
+            // Replay the shared packed arena — never the regenerative
+            // walk (the equivalence suite pins the two bit-identical).
+            let workload: &PackedWorkload = &packed[i];
             if tracing {
-                let mut probe = TraceProbe::new(profile.name(), key.label());
+                let mut probe = TraceProbe::new(profiles[i].name(), key.label());
                 let report = Simulator::new(key.config()).run_probed(workload, &mut probe);
                 (report, probe.into_bytes())
             } else {
                 (Simulator::new(key.config()).run(workload), Vec::new())
             }
         });
+        self.phases.simulate += t.elapsed().as_secs_f64();
         self.sims_run += results.len() as u64;
         let mut write_err = None;
         if let Some(out) = self.trace.as_mut() {
@@ -338,7 +406,7 @@ impl Runner {
     pub fn cpi_stack_json(&self, indent: &str) -> Option<String> {
         let inner = format!("{indent}  ");
         let mut out = String::from("{\n");
-        for (i, (profile, _)) in self.workloads.iter().enumerate() {
+        for (i, profile) in self.profiles.iter().enumerate() {
             let base = self.cached(i, ConfigKey::Base)?;
             let esp = self.cached(i, ConfigKey::EspNl)?;
             out.push_str(&format!(
@@ -346,7 +414,7 @@ impl Runner {
                 profile.name(),
                 base.cpi_stack.to_json(),
                 esp.cpi_stack.to_json(),
-                if i + 1 < self.workloads.len() { "," } else { "" },
+                if i + 1 < self.profiles.len() { "," } else { "" },
             ));
         }
         out.push_str(indent);
@@ -368,7 +436,7 @@ impl Runner {
     pub fn improvements(&mut self, key: ConfigKey, base: ConfigKey) -> Vec<f64> {
         self.ensure(&[key, base]);
         let mut vals = Vec::new();
-        for i in 0..self.workloads.len() {
+        for i in 0..self.profiles.len() {
             let b = self.run(i, base).busy_cycles();
             let t = self.run(i, key).busy_cycles();
             vals.push(esp_stats::improvement_pct(b, t));
@@ -383,7 +451,7 @@ impl Runner {
     pub fn metric(&mut self, key: ConfigKey, metric: impl Fn(&RunReport) -> f64) -> Vec<f64> {
         self.ensure(&[key]);
         let mut vals = Vec::new();
-        for i in 0..self.workloads.len() {
+        for i in 0..self.profiles.len() {
             vals.push(metric(self.run(i, key)));
         }
         vals.push(esp_stats::harmonic_mean(&vals));

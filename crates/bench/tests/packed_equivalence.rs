@@ -1,0 +1,68 @@
+//! Packed replay is bit-equivalent to the regenerative walk.
+//!
+//! The decode-once arena (`esp_trace::PackedWorkload`) is a pure
+//! performance layer: for every benchmark profile and every
+//! configuration of the check matrix it must produce the *same bytes* as
+//! simulating the regenerative `GeneratedWorkload` — identical
+//! `RunReport`s (full `Debug` rendering, covering cycles, CPI stack,
+//! engine/ESP/replay/energy/working-set stats), identical CPI-stack
+//! JSON, and identical JSONL trace output, regardless of the thread
+//! count used to materialise the arena.
+
+use esp_bench::ConfigKey;
+use esp_core::Simulator;
+use esp_obs::TraceProbe;
+use esp_trace::Workload;
+use esp_workload::BenchmarkProfile;
+
+const SCALE: u64 = 18_000;
+const SEED: u64 = 13;
+const KEYS: [ConfigKey; 3] = [ConfigKey::Base, ConfigKey::Runahead, ConfigKey::EspNl];
+
+#[test]
+fn packed_replay_matches_regenerative_walk_bit_for_bit() {
+    for profile in BenchmarkProfile::all() {
+        let walk = profile.scaled(SCALE).build(SEED);
+        // Materialise with >1 thread: arena contents must not depend on
+        // the decode fan-out (also asserted directly in esp-workload).
+        let packed = walk.materialise_par(2);
+        assert_eq!(walk.events(), packed.events(), "{}: event records", profile.name());
+        for key in KEYS {
+            let mut probe_walk = TraceProbe::new(profile.name(), key.label());
+            let mut probe_packed = TraceProbe::new(profile.name(), key.label());
+            let report_walk =
+                Simulator::new(key.config()).run_probed(&walk, &mut probe_walk);
+            let report_packed =
+                Simulator::new(key.config()).run_probed(&packed, &mut probe_packed);
+            let what = format!("{} {key:?}", profile.name());
+            assert_eq!(
+                format!("{report_walk:#?}"),
+                format!("{report_packed:#?}"),
+                "{what}: RunReport"
+            );
+            assert_eq!(
+                report_walk.cpi_stack.to_json(),
+                report_packed.cpi_stack.to_json(),
+                "{what}: CPI stack JSON"
+            );
+            assert_eq!(
+                probe_walk.into_bytes(),
+                probe_packed.into_bytes(),
+                "{what}: JSONL trace bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_oracle_accepts_packed_replay() {
+    // The esp-check oracle (event recount, serial timing bound, replay of
+    // the component side-effect logs) runs against the packed form.
+    for profile in [BenchmarkProfile::amazon(), BenchmarkProfile::pixlr()] {
+        let packed = esp_workload::arena::packed_for(&profile.scaled(SCALE), SEED, 2);
+        for key in KEYS {
+            esp_check::check_run(&key.config(), &*packed)
+                .unwrap_or_else(|e| panic!("{} {key:?}: {e}", profile.name()));
+        }
+    }
+}

@@ -17,7 +17,7 @@ use esp_branch::PredictorContext;
 use esp_lists::{AddrList, BList, ListCapacities};
 use esp_mem::{AccessResult, CacheConfig, Cachelet, CacheletSlot, SetAssocCache};
 use esp_obs::{CycleClass, NullProbe, Probe, WindowRecord, WindowSpender};
-use esp_trace::{EventRecord, EventStream, InstrKind, Workload};
+use esp_trace::{EventCursor, EventRecord, EventStream, Instr, InstrKind, Workload};
 use esp_types::{Cycle, LineAddr};
 use esp_uarch::{Engine, Stall, StallKind};
 
@@ -53,10 +53,38 @@ impl EspRunStats {
     }
 }
 
+/// A slot's resumable stream cursor. Packed workloads get the concrete
+/// arena cursor — one predictable match instead of a per-instruction
+/// virtual call, and the decode inlines into [`EspState::step_slot`] —
+/// while any other workload keeps its boxed stream. Both variants
+/// produce the same instruction sequence.
+enum SlotCursor<'w> {
+    Dyn(Box<dyn EventStream + 'w>),
+    Packed(EventCursor<'w>),
+}
+
+impl SlotCursor<'_> {
+    #[inline]
+    fn next_instr(&mut self) -> Option<Instr> {
+        match self {
+            SlotCursor::Dyn(c) => c.next_instr(),
+            SlotCursor::Packed(c) => c.next_instr(),
+        }
+    }
+
+    #[inline]
+    fn executed(&self) -> u64 {
+        match self {
+            SlotCursor::Dyn(c) => c.executed(),
+            SlotCursor::Packed(c) => c.executed(),
+        }
+    }
+}
+
 struct Slot<'w> {
     /// Absolute event index this slot pre-executes.
     event_idx: Option<u64>,
-    cursor: Option<Box<dyn EventStream + 'w>>,
+    cursor: Option<SlotCursor<'w>>,
     ilist: AddrList,
     dlist: AddrList,
     blist: BList,
@@ -214,7 +242,12 @@ impl<'w> EspState<'w> {
         let e = current_idx + 1 + s;
         let id = events[e].id;
         self.slots[s].event_idx = Some(e as u64);
-        self.slots[s].cursor = Some(self.workload.speculative_stream(id));
+        self.slots[s].cursor = Some(match self.workload.as_packed() {
+            Some(p) => {
+                SlotCursor::Packed(p.arena().event(id.index() as usize).speculative_cursor())
+            }
+            None => SlotCursor::Dyn(self.workload.speculative_stream(id)),
+        });
         self.stats.events_started += 1;
     }
 

@@ -98,7 +98,21 @@ impl ReplayState {
     /// in the current event (the looper prologue counts as negative lead:
     /// call with `icount = 0` during the prologue), `branches` the
     /// branches retired so far.
+    #[inline]
     pub fn tick(&mut self, engine: &mut Engine, icount: u64, branches: u64) {
+        // Fast path: most events have no lists (non-ESP configs arm with
+        // `None`; drained cursors stay drained), and this runs once per
+        // retired instruction.
+        if self.ipos >= self.lists.ilist.len()
+            && self.dpos >= self.lists.dlist.len()
+            && self.bpos >= self.lists.blist.len()
+        {
+            return;
+        }
+        self.tick_slow(engine, icount, branches);
+    }
+
+    fn tick_slow(&mut self, engine: &mut Engine, icount: u64, branches: u64) {
         let now = engine.now();
         while let Some(rec) = self.lists.ilist.get(self.ipos) {
             if rec.icount > icount + self.prefetch_lead {

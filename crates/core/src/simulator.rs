@@ -10,7 +10,7 @@ use esp_energy::{ActivityCounts, EnergyModel};
 use esp_mem::{HierarchySnapshot, MemOp};
 use esp_obs::{CycleClass, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender};
 use esp_stats::BranchStats;
-use esp_trace::{Instr, Workload};
+use esp_trace::{ForkStream, Instr, Workload};
 use esp_types::Addr;
 use esp_uarch::{Engine, StallKind};
 
@@ -168,55 +168,44 @@ impl Simulator {
                 engine.step_probed(&Self::looper_instr(idx, i), probe);
             }
 
-            let mut stream = workload.actual_stream(record.id);
-            let mut branches = 0u64;
-            iws.clear();
-            dws.clear();
-            loop {
-                replay.tick(&mut engine, stream.executed(), branches);
-                let Some(instr) = stream.next_instr() else {
-                    break;
-                };
-                if measure {
-                    iws.insert(instr.pc.line(line_bytes).as_u64());
-                    if let Some(a) = instr.mem_addr() {
-                        dws.insert(a.line(line_bytes).as_u64());
-                    }
+            // Dispatch once per event, not once per instruction: packed
+            // workloads run the loop over a concrete arena cursor (the
+            // decode inlines into the loop body), everything else over
+            // its boxed stream. Both instantiations perform the same
+            // engine-call sequence, so the outputs are bit-identical.
+            span_windows += match workload.as_packed() {
+                Some(packed) => {
+                    let mut stream =
+                        packed.arena().event(record.id.index() as usize).actual_cursor();
+                    self.run_event(
+                        &mut stream,
+                        idx,
+                        &mut engine,
+                        &mut esp,
+                        &mut replay,
+                        probe,
+                        measure,
+                        line_bytes,
+                        &mut iws,
+                        &mut dws,
+                    )
                 }
-                let out = engine.step_probed(&instr, probe);
-                if instr.is_branch() {
-                    branches += 1;
+                None => {
+                    let mut stream = workload.actual_stream(record.id);
+                    self.run_event(
+                        &mut stream,
+                        idx,
+                        &mut engine,
+                        &mut esp,
+                        &mut replay,
+                        probe,
+                        measure,
+                        line_bytes,
+                        &mut iws,
+                        &mut dws,
+                    )
                 }
-                if let Some(stall) = out.stall {
-                    match &self.config.mode {
-                        SimMode::Baseline => {}
-                        SimMode::Runahead { data_only } => {
-                            if stall.kind == StallKind::DataLlcMiss {
-                                span_windows += 1;
-                                let ra = engine.run_runahead_flavored(
-                                    &*stream,
-                                    stall.start,
-                                    stall.cycles,
-                                    *data_only,
-                                );
-                                probe.on_window(&WindowRecord {
-                                    at: stall.start,
-                                    stall_class: CycleClass::DcacheLlc,
-                                    offered_cycles: stall.cycles,
-                                    utilized_cycles: ra.utilized_cycles,
-                                    instrs: ra.instrs,
-                                    spender: WindowSpender::Runahead,
-                                });
-                            }
-                        }
-                        SimMode::Esp(_) => {
-                            let esp = esp.as_mut().expect("ESP mode without ESP state");
-                            span_windows += 1;
-                            esp.spend_window_probed(&mut engine, stall, idx, probe);
-                        }
-                    }
-                }
-            }
+            };
 
             if let Some(esp) = esp.as_mut() {
                 if measure {
@@ -263,6 +252,78 @@ impl Simulator {
             esp_mispredicts,
         });
         (report, log)
+    }
+
+    /// The per-instruction loop of one event, monomorphised over the
+    /// stream type `S`. For packed workloads `S` is the concrete arena
+    /// cursor, so `next_instr`/`executed` inline into the loop instead of
+    /// going through per-instruction virtual dispatch; generative
+    /// workloads instantiate it with their boxed stream. Returns the
+    /// number of pre-execution windows the event opened.
+    #[allow(clippy::too_many_arguments)]
+    fn run_event<P: Probe, S: ForkStream>(
+        &self,
+        stream: &mut S,
+        idx: usize,
+        engine: &mut Engine,
+        esp: &mut Option<EspState<'_>>,
+        replay: &mut ReplayState,
+        probe: &mut P,
+        measure: bool,
+        line_bytes: u64,
+        iws: &mut LineSet,
+        dws: &mut LineSet,
+    ) -> u64 {
+        let mut span_windows = 0u64;
+        let mut branches = 0u64;
+        iws.clear();
+        dws.clear();
+        loop {
+            replay.tick(engine, stream.executed(), branches);
+            let Some(instr) = stream.next_instr() else {
+                break;
+            };
+            if measure {
+                iws.insert(instr.pc.line(line_bytes).as_u64());
+                if let Some(a) = instr.mem_addr() {
+                    dws.insert(a.line(line_bytes).as_u64());
+                }
+            }
+            let out = engine.step_probed(&instr, probe);
+            if instr.is_branch() {
+                branches += 1;
+            }
+            if let Some(stall) = out.stall {
+                match &self.config.mode {
+                    SimMode::Baseline => {}
+                    SimMode::Runahead { data_only } => {
+                        if stall.kind == StallKind::DataLlcMiss {
+                            span_windows += 1;
+                            let ra = engine.run_runahead_cursor(
+                                stream.fork_stream(),
+                                stall.start,
+                                stall.cycles,
+                                *data_only,
+                            );
+                            probe.on_window(&WindowRecord {
+                                at: stall.start,
+                                stall_class: CycleClass::DcacheLlc,
+                                offered_cycles: stall.cycles,
+                                utilized_cycles: ra.utilized_cycles,
+                                instrs: ra.instrs,
+                                spender: WindowSpender::Runahead,
+                            });
+                        }
+                    }
+                    SimMode::Esp(_) => {
+                        let esp = esp.as_mut().expect("ESP mode without ESP state");
+                        span_windows += 1;
+                        esp.spend_window_probed(engine, stall, idx, probe);
+                    }
+                }
+            }
+        }
+        span_windows
     }
 
     fn assemble_report(

@@ -4,23 +4,6 @@ use crate::CacheConfig;
 use esp_stats::CacheStats;
 use esp_types::{Cycle, LineAddr};
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// The cycle at which the fill that brought this line completes. A
-    /// demand access before `ready` is a partial hit charged the remaining
-    /// latency.
-    ready: Cycle,
-    /// Set when the line was brought in by a prefetcher and not yet touched
-    /// by a demand access (for useful-prefetch accounting).
-    prefetched: bool,
-    /// LRU stamp; larger is more recent.
-    stamp: u64,
-}
-
-const INVALID: Line = Line { tag: 0, valid: false, ready: Cycle::ZERO, prefetched: false, stamp: 0 };
-
 /// The outcome of a demand access to a [`SetAssocCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessResult {
@@ -49,6 +32,12 @@ impl AccessResult {
     }
 }
 
+/// Metadata words per slot and their offsets within a slot's group.
+const META: usize = 3;
+const M_READY: usize = 0;
+const M_STAMP: usize = 1;
+const M_PREFETCHED: usize = 2;
+
 /// A set-associative cache with true-LRU replacement and per-line fill
 /// latency.
 ///
@@ -56,6 +45,15 @@ impl AccessResult {
 /// line address and the tag is the rest, so the structure works for any
 /// power-of-two set count. The cache does not store data — only presence,
 /// which is all a timing model needs.
+///
+/// Internally the ways are split into a flat tag array (the only array a
+/// lookup scans) and one interleaved per-slot metadata array (ready
+/// cycle, LRU stamp, prefetch bit) consulted only on a hit. The tag
+/// array encodes validity in bit 0 (`(tag << 1) | 1`; `0` = invalid), so
+/// the hot way-scan is a branchless equality sweep over adjacent `u64`s
+/// with no per-way `valid` test and no early exit; the metadata
+/// interleave keeps the subsequent bookkeeping on a single host cache
+/// line.
 ///
 /// # Examples
 ///
@@ -74,8 +72,22 @@ impl AccessResult {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// `(tag << 1) | 1` when valid, `0` when invalid; `sets × ways` flat,
+    /// way-major within a set.
+    tags: Vec<u64>,
+    /// Per-slot metadata, [`META`] `u64` words per slot, interleaved so a
+    /// hit touches one host cache line instead of three scattered arrays:
+    /// `[ready, stamp, prefetched]`. `ready` is the raw [`Cycle`] at
+    /// which the slot's fill completes (a demand access before it is a
+    /// partial hit charged the remaining latency); `stamp` is the LRU
+    /// stamp, larger is more recent (0 only for never-used slots);
+    /// `prefetched` is nonzero while the line was brought in by a
+    /// prefetcher and not yet touched by a demand access. Kept as plain
+    /// zeroes-at-rest `u64`s so construction goes through `calloc` and
+    /// untouched pages stay lazily mapped.
+    meta: Vec<u64>,
     set_mask: u64,
+    ways: usize,
     next_stamp: u64,
     stats: CacheStats,
 }
@@ -89,9 +101,13 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> Self {
         config.validate().expect("invalid cache configuration");
         let sets = config.sets() as usize;
+        let ways = config.ways as usize;
+        let slots = sets * ways;
         SetAssocCache {
             set_mask: sets as u64 - 1,
-            sets: vec![vec![INVALID; config.ways as usize]; sets],
+            tags: vec![0; slots],
+            meta: vec![0; slots * META],
+            ways,
             config,
             next_stamp: 1,
             stats: CacheStats::default(),
@@ -113,40 +129,56 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    /// Index of the first way of `line`'s set in the flat arrays.
     #[inline]
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.as_u64() & self.set_mask) as usize
+    fn set_base(&self, line: LineAddr) -> usize {
+        (line.as_u64() & self.set_mask) as usize * self.ways
     }
 
+    /// The valid-encoded tag `line` would be stored under.
     #[inline]
-    fn tag(&self, line: LineAddr) -> u64 {
-        line.as_u64() >> self.set_mask.count_ones()
+    fn key(&self, line: LineAddr) -> u64 {
+        ((line.as_u64() >> self.set_mask.count_ones()) << 1) | 1
+    }
+
+    /// Scans every way of the set for `key` with no early exit: the loop
+    /// body is a compare and a conditional move, so the compiler keeps it
+    /// branch-free and the L1 hit path never mispredicts on way position.
+    /// At most one way can match (fills never duplicate a tag).
+    #[inline]
+    fn find_way(&self, base: usize, key: u64) -> Option<usize> {
+        let mut hit = usize::MAX;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t == key {
+                hit = w;
+            }
+        }
+        (hit != usize::MAX).then(|| base + hit)
     }
 
     /// Performs a demand access: updates LRU, statistics, and the
     /// prefetched bit, and returns the latency class.
     pub fn access(&mut self, line: LineAddr, now: Cycle) -> AccessResult {
-        let si = self.set_index(line);
-        let tag = self.tag(line);
+        let base = self.set_base(line);
+        let key = self.key(line);
         let stamp = self.bump_stamp();
         let hit_latency = self.config.hit_latency;
-        let set = &mut self.sets[si];
-        for way in set.iter_mut() {
-            if way.valid && way.tag == tag {
-                way.stamp = stamp;
-                if way.prefetched {
-                    way.prefetched = false;
-                    self.stats.prefetch_useful += 1;
-                }
-                return if way.ready.is_after(now) {
-                    let remaining = (way.ready - now).max(hit_latency);
-                    self.stats.partial_hits += 1;
-                    AccessResult::PartialHit(remaining)
-                } else {
-                    self.stats.hits += 1;
-                    AccessResult::Hit(hit_latency)
-                };
+        if let Some(idx) = self.find_way(base, key) {
+            let m = idx * META;
+            self.meta[m + M_STAMP] = stamp;
+            if self.meta[m + M_PREFETCHED] != 0 {
+                self.meta[m + M_PREFETCHED] = 0;
+                self.stats.prefetch_useful += 1;
             }
+            let ready = Cycle::new(self.meta[m + M_READY]);
+            return if ready.is_after(now) {
+                let remaining = (ready - now).max(hit_latency);
+                self.stats.partial_hits += 1;
+                AccessResult::PartialHit(remaining)
+            } else {
+                self.stats.hits += 1;
+                AccessResult::Hit(hit_latency)
+            };
         }
         self.stats.misses += 1;
         AccessResult::Miss
@@ -156,9 +188,7 @@ impl SetAssocCache {
     /// the prefetched bit. Used by prefetch-redundancy checks and by the
     /// ESP bypass path, which must not pollute demand state (§3.4).
     pub fn probe(&self, line: LineAddr) -> bool {
-        let si = self.set_index(line);
-        let tag = self.tag(line);
-        self.sets[si].iter().any(|w| w.valid && w.tag == tag)
+        self.find_way(self.set_base(line), self.key(line)).is_some()
     }
 
     /// Inserts `line`, evicting the LRU way if the set is full. `ready` is
@@ -169,50 +199,59 @@ impl SetAssocCache {
     /// moves `ready` *earlier* (a demand fill can expedite a lazy prefetch,
     /// never delay an earlier fill).
     pub fn fill(&mut self, line: LineAddr, _now: Cycle, ready: Cycle, prefetched: bool) {
-        let si = self.set_index(line);
-        let tag = self.tag(line);
+        let base = self.set_base(line);
+        let key = self.key(line);
         let stamp = self.bump_stamp();
-        let set = &mut self.sets[si];
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.stamp = stamp;
-            if ready < way.ready {
-                way.ready = ready;
+        if let Some(idx) = self.find_way(base, key) {
+            let m = idx * META;
+            self.meta[m + M_STAMP] = stamp;
+            if ready.as_u64() < self.meta[m + M_READY] {
+                self.meta[m + M_READY] = ready.as_u64();
             }
             return;
         }
         if prefetched {
             self.stats.prefetch_fills += 1;
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
-            .expect("cache sets are never empty");
-        *victim = Line { tag, valid: true, ready, prefetched, stamp };
+        // First way with the minimal (invalid ? 0 : stamp) key — the same
+        // victim `min_by_key` picked over the old array-of-structs sets.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for idx in base..base + self.ways {
+            let k = if self.tags[idx] != 0 { self.meta[idx * META + M_STAMP] } else { 0 };
+            if k < best {
+                best = k;
+                victim = idx;
+            }
+        }
+        self.tags[victim] = key;
+        let m = victim * META;
+        self.meta[m + M_READY] = ready.as_u64();
+        self.meta[m + M_STAMP] = stamp;
+        self.meta[m + M_PREFETCHED] = u64::from(prefetched);
     }
 
     /// Drops `line` if resident. Returns whether it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let si = self.set_index(line);
-        let tag = self.tag(line);
-        for way in self.sets[si].iter_mut() {
-            if way.valid && way.tag == tag {
-                *way = INVALID;
-                return true;
+        match self.find_way(self.set_base(line), self.key(line)) {
+            Some(idx) => {
+                self.tags[idx] = 0;
+                self.meta[idx * META..idx * META + META].fill(0);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Empties the cache (contents only; statistics are preserved).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.fill(INVALID);
-        }
+        self.tags.fill(0);
+        self.meta.fill(0);
     }
 
     /// The number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != 0).count()
     }
 
     fn bump_stamp(&mut self) -> u64 {
@@ -359,5 +398,33 @@ mod tests {
         assert_eq!(AccessResult::Miss.hit_latency(), None);
         assert!(AccessResult::Hit(2).is_hit());
         assert!(!AccessResult::Miss.is_hit());
+    }
+
+    #[test]
+    fn tag_zero_line_is_storable() {
+        // Line address 0 encodes to key 1, not the invalid sentinel 0, so
+        // the valid-in-bit-0 scheme must store and find it.
+        let mut c = tiny();
+        let l = LineAddr::new(0);
+        assert!(!c.probe(l));
+        c.fill(l, Cycle::ZERO, Cycle::ZERO, false);
+        assert!(c.probe(l));
+        assert!(c.access(l, Cycle::new(1)).is_hit());
+        assert!(c.invalidate(l));
+        assert!(!c.probe(l));
+    }
+
+    #[test]
+    fn eviction_prefers_invalid_ways() {
+        let mut c = tiny();
+        let (a, b, d) = (set0(1), set0(2), set0(3));
+        c.fill(a, Cycle::ZERO, Cycle::ZERO, false);
+        c.fill(b, Cycle::ZERO, Cycle::ZERO, false);
+        // Invalidate the MRU way; the next fill must take the freed slot,
+        // not evict the valid LRU line.
+        assert!(c.invalidate(b));
+        c.fill(d, Cycle::ZERO, Cycle::ZERO, false);
+        assert!(c.probe(a), "valid line survived an invalid-way fill");
+        assert!(c.probe(d));
     }
 }

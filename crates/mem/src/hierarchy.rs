@@ -281,6 +281,7 @@ impl MemoryHierarchy {
     }
 
     /// A demand instruction fetch of `line` at time `now`.
+    #[inline]
     pub fn access_instr(&mut self, line: LineAddr, now: Cycle) -> ServedAccess {
         let served = Self::access_via(&mut self.l1i, &mut self.l2, self.mem_latency, line, now);
         self.record(MemOp::AccessInstr { line, now, served });
@@ -290,6 +291,7 @@ impl MemoryHierarchy {
     /// A demand data access of `line` at time `now`. Stores and loads are
     /// timed identically here (write-allocate); the core model decides how
     /// much of the latency a store exposes.
+    #[inline]
     pub fn access_data(&mut self, line: LineAddr, now: Cycle, is_store: bool) -> ServedAccess {
         let served = Self::access_via(&mut self.l1d, &mut self.l2, self.mem_latency, line, now);
         self.record(MemOp::AccessData { line, now, store: is_store, served });

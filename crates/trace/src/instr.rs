@@ -129,6 +129,7 @@ impl Instr {
     }
 
     /// Returns `true` for any control-flow instruction.
+    #[inline]
     pub fn is_branch(&self) -> bool {
         matches!(
             self.kind,
@@ -141,11 +142,13 @@ impl Instr {
     }
 
     /// Returns `true` for loads and stores.
+    #[inline]
     pub fn is_mem(&self) -> bool {
         matches!(self.kind, InstrKind::Load { .. } | InstrKind::Store { .. })
     }
 
     /// Returns the data address for loads and stores, `None` otherwise.
+    #[inline]
     pub fn mem_addr(&self) -> Option<Addr> {
         match self.kind {
             InstrKind::Load { addr, .. } | InstrKind::Store { addr } => Some(addr),
@@ -155,6 +158,7 @@ impl Instr {
 
     /// Returns the dynamic next program counter (the address the front end
     /// must fetch after this instruction retires).
+    #[inline]
     pub fn next_pc(&self) -> Addr {
         match self.kind {
             InstrKind::Alu | InstrKind::Load { .. } | InstrKind::Store { .. } => {
@@ -175,6 +179,7 @@ impl Instr {
     }
 
     /// Returns whether the branch was taken; `None` for non-branches.
+    #[inline]
     pub fn branch_taken(&self) -> Option<bool> {
         match self.kind {
             InstrKind::CondBranch { taken, .. } => Some(taken),

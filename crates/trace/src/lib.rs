@@ -21,6 +21,11 @@
 //!   diverge).
 //! * [`VecEventStream`] / [`record_stream`] — in-memory trace replay and
 //!   capture, used heavily by tests.
+//! * [`PackedTrace`] / [`TraceArena`] / [`PackedWorkload`] — the
+//!   decode-once, replay-many form: instruction streams materialised once
+//!   into compact struct-of-arrays storage and replayed by allocation-free
+//!   cursors, shared across simulator configurations (see
+//!   `docs/PERFORMANCE.md`).
 //!
 //! # Examples
 //!
@@ -43,9 +48,11 @@
 
 pub mod codec;
 mod instr;
+mod packed;
 mod record;
 mod stream;
 
 pub use instr::{Instr, InstrKind};
+pub use packed::{EventCursor, PackedCursor, PackedEvent, PackedTrace, PackedWorkload, TraceArena};
 pub use record::EventRecord;
-pub use stream::{record_stream, EventStream, VecEventStream, Workload};
+pub use stream::{record_stream, EventStream, ForkStream, VecEventStream, Workload};

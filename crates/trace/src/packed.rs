@@ -1,0 +1,676 @@
+//! Decode-once packed traces: a struct-of-arrays instruction store.
+//!
+//! The generator in `esp-workload` re-derives an event's instruction
+//! stream from its seed every time a stream is opened. That is perfect
+//! for memory (nothing is stored) but wrong for the evaluation matrix,
+//! where the *same* streams are replayed under dozens of machine
+//! configurations: the dominant cost of a matrix run becomes stream
+//! regeneration, not timing simulation. This module provides the
+//! replay-many half of the trade:
+//!
+//! * [`PackedTrace`] — one instruction stream, packed into parallel
+//!   arrays: one *kind byte* per instruction (discriminant + flags) and
+//!   one `u64` operand slot per instruction that needs one. Program
+//!   counters are not stored at all: within an event a trace is
+//!   control-flow consistent (each instruction's `next_pc` is the next
+//!   instruction's `pc`), so the cursor re-derives them; the rare
+//!   discontinuity is flagged and spills an explicit pc operand.
+//! * [`PackedCursor`] — an allocation-free [`EventStream`] over a
+//!   packed trace: three integers of state, no heap, `Clone` for cheap
+//!   forking.
+//! * [`PackedEvent`] — one event's *actual* stream plus, when the event
+//!   diverges, the speculative tail from the divergence point onward.
+//!   A speculative cursor reads the shared actual arrays up to the
+//!   divergence point and then switches to the tail — the prefix is
+//!   stored exactly once.
+//! * [`TraceArena`] / [`PackedWorkload`] — a whole program materialised
+//!   event by event, shared (`Arc`) across every simulator configuration
+//!   and worker thread that replays it.
+//!
+//! Packing is lossless: a cursor reproduces the recorded [`Instr`]
+//! sequence bit for bit (the equivalence tests in `esp-bench` assert
+//! byte-identical `RunReport`s and JSONL traces against the
+//! regenerative walk).
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_trace::{EventStream, Instr, PackedTrace};
+//! use esp_types::Addr;
+//!
+//! let instrs = vec![
+//!     Instr::alu(Addr::new(0x100)),
+//!     Instr::load(Addr::new(0x104), Addr::new(0x8000), false),
+//!     Instr::cond_branch(Addr::new(0x108), true, Addr::new(0x100)),
+//! ];
+//! let packed = PackedTrace::from_instrs(&instrs);
+//! let mut cursor = packed.cursor();
+//! for want in &instrs {
+//!     assert_eq!(cursor.next_instr().as_ref(), Some(want));
+//! }
+//! assert_eq!(cursor.next_instr(), None);
+//! ```
+
+use crate::{EventRecord, EventStream, Instr, InstrKind, Workload};
+use esp_types::{Addr, EventId};
+use std::sync::Arc;
+
+/// Discriminant values of the kind byte (low three bits).
+const TAG_ALU: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_COND: u8 = 3;
+const TAG_IND_BRANCH: u8 = 4;
+const TAG_IND_CALL: u8 = 5;
+const TAG_CALL: u8 = 6;
+const TAG_RET: u8 = 7;
+const TAG_MASK: u8 = 0b0000_0111;
+/// Kind-byte flag: `chained` for loads, `taken` for conditional branches.
+const FLAG_BIT: u8 = 0b0000_1000;
+/// Kind-byte flag: this instruction's pc does not follow from the
+/// previous instruction's `next_pc`; an explicit pc operand precedes the
+/// instruction's own operand in the operand array.
+const EXPLICIT_PC: u8 = 0b0001_0000;
+
+/// One instruction stream in struct-of-arrays form.
+///
+/// Layout: `kinds` holds one byte per instruction; `ops` holds one `u64`
+/// per operand in stream order — an explicit pc first when the
+/// `EXPLICIT_PC` kind bit is set, then the data address (loads/stores) or
+/// branch target (control flow). ALU instructions consume no operand
+/// slot, so a typical generated stream packs to ~5 bytes per
+/// instruction versus the 32-byte in-memory [`Instr`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedTrace {
+    start_pc: u64,
+    kinds: Vec<u8>,
+    ops: Vec<u64>,
+    /// The pc the next pushed instruction is predicted to have
+    /// (build-time state only; replay re-derives it).
+    expect_pc: u64,
+}
+
+impl PackedTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        PackedTrace::default()
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, i: &Instr) {
+        let pc = i.pc.as_u64();
+        let explicit = if self.kinds.is_empty() {
+            self.start_pc = pc;
+            false
+        } else {
+            pc != self.expect_pc
+        };
+        let (tag, flag, op) = match i.kind {
+            InstrKind::Alu => (TAG_ALU, false, None),
+            InstrKind::Load { addr, chained } => (TAG_LOAD, chained, Some(addr.as_u64())),
+            InstrKind::Store { addr } => (TAG_STORE, false, Some(addr.as_u64())),
+            InstrKind::CondBranch { taken, target } => (TAG_COND, taken, Some(target.as_u64())),
+            InstrKind::IndirectBranch { target } => (TAG_IND_BRANCH, false, Some(target.as_u64())),
+            InstrKind::IndirectCall { target } => (TAG_IND_CALL, false, Some(target.as_u64())),
+            InstrKind::Call { target } => (TAG_CALL, false, Some(target.as_u64())),
+            InstrKind::Return { target } => (TAG_RET, false, Some(target.as_u64())),
+        };
+        let mut kind = tag;
+        if flag {
+            kind |= FLAG_BIT;
+        }
+        if explicit {
+            kind |= EXPLICIT_PC;
+            self.ops.push(pc);
+        }
+        if let Some(op) = op {
+            self.ops.push(op);
+        }
+        self.kinds.push(kind);
+        self.expect_pc = i.next_pc().as_u64();
+    }
+
+    /// Drains `stream` to completion into a packed trace.
+    pub fn from_stream(stream: &mut dyn EventStream) -> Self {
+        let mut t = PackedTrace::new();
+        while let Some(i) = stream.next_instr() {
+            t.push(&i);
+        }
+        t
+    }
+
+    /// Packs a recorded instruction slice.
+    pub fn from_instrs(instrs: &[Instr]) -> Self {
+        let mut t = PackedTrace::new();
+        for i in instrs {
+            t.push(i);
+        }
+        t
+    }
+
+    /// The number of instructions stored.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Bytes of heap the packed arrays occupy (capacity, not length —
+    /// what the process actually holds resident).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.kinds.capacity() + self.ops.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// Trims excess capacity left over from growth during recording.
+    pub fn shrink_to_fit(&mut self) {
+        self.kinds.shrink_to_fit();
+        self.ops.shrink_to_fit();
+    }
+
+    /// Opens an allocation-free replay cursor at the start.
+    pub fn cursor(&self) -> PackedCursor<'_> {
+        PackedCursor { trace: self, pos: 0, op_idx: 0, pc: self.start_pc }
+    }
+}
+
+impl FromIterator<Instr> for PackedTrace {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        let mut t = PackedTrace::new();
+        for i in iter {
+            t.push(&i);
+        }
+        t
+    }
+}
+
+/// An allocation-free [`EventStream`] cursor over a [`PackedTrace`].
+///
+/// Three words of state: position, operand index, and the re-derived
+/// program counter. [`EventStream::fork`] boxes a plain copy, so forking
+/// a pre-execution or runahead cursor costs a small fixed allocation
+/// instead of cloning a generator (frames, pools, RNG).
+#[derive(Clone, Debug)]
+pub struct PackedCursor<'a> {
+    trace: &'a PackedTrace,
+    pos: usize,
+    op_idx: usize,
+    pc: u64,
+}
+
+impl PackedCursor<'_> {
+    /// Decodes the next instruction, advancing the cursor.
+    ///
+    /// `inline(always)`: this is the grain of every simulation loop; when
+    /// it stays a call, the `Option<Instr>` return travels through memory
+    /// on every one of the run's hundreds of millions of instructions.
+    // Deliberately named like `Iterator::next` but not an `Iterator` impl:
+    // the simulator drives cursors through `EventStream`, and a borrowing
+    // iterator adapter would add nothing but an extra vtable surface.
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn next(&mut self) -> Option<Instr> {
+        let kind = *self.trace.kinds.get(self.pos)?;
+        let mut pc = self.pc;
+        if kind & EXPLICIT_PC != 0 {
+            pc = self.trace.ops[self.op_idx];
+            self.op_idx += 1;
+        }
+        let pc = Addr::new(pc);
+        let flag = kind & FLAG_BIT != 0;
+        let mut operand = || {
+            let v = Addr::new(self.trace.ops[self.op_idx]);
+            self.op_idx += 1;
+            v
+        };
+        let instr = match kind & TAG_MASK {
+            TAG_ALU => Instr::alu(pc),
+            TAG_LOAD => {
+                let addr = operand();
+                Instr::load(pc, addr, flag)
+            }
+            TAG_STORE => Instr::store(pc, operand()),
+            TAG_COND => {
+                let target = operand();
+                Instr::cond_branch(pc, flag, target)
+            }
+            TAG_IND_BRANCH => Instr::indirect(pc, operand()),
+            TAG_IND_CALL => Instr::indirect_call(pc, operand()),
+            TAG_CALL => Instr::call(pc, operand()),
+            _ => Instr::ret(pc, operand()),
+        };
+        self.pos += 1;
+        self.pc = instr.next_pc().as_u64();
+        Some(instr)
+    }
+
+    /// Instructions decoded so far.
+    pub fn position(&self) -> u64 {
+        self.pos as u64
+    }
+}
+
+impl EventStream for PackedCursor<'_> {
+    #[inline]
+    fn next_instr(&mut self) -> Option<Instr> {
+        self.next()
+    }
+
+    #[inline]
+    fn executed(&self) -> u64 {
+        self.pos as u64
+    }
+
+    fn fork(&self) -> Box<dyn EventStream + '_> {
+        Box::new(self.clone())
+    }
+}
+
+/// One event's packed streams: the actual trace, and — when the event's
+/// pre-execution diverges — the speculative tail from the divergence
+/// point onward. The common prefix is stored once, in `actual`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedEvent {
+    actual: PackedTrace,
+    /// Instruction index at which a speculative view leaves the actual
+    /// path, recorded at materialisation time. `None` for the > 98 % of
+    /// events whose pre-execution matches reality.
+    diverge_at: Option<u64>,
+    /// The speculative stream from `diverge_at` onward (empty when the
+    /// event never diverges within its budget).
+    spec_tail: PackedTrace,
+}
+
+impl PackedEvent {
+    /// Assembles a packed event. `spec_tail` must hold the speculative
+    /// stream's instructions from `diverge_at` onward (callers record it
+    /// by skipping `diverge_at` instructions of the speculative stream).
+    pub fn new(actual: PackedTrace, diverge_at: Option<u64>, spec_tail: PackedTrace) -> Self {
+        PackedEvent { actual, diverge_at, spec_tail }
+    }
+
+    /// The event's actual (authoritative) trace.
+    pub fn actual(&self) -> &PackedTrace {
+        &self.actual
+    }
+
+    /// The recorded divergence point, if any.
+    pub fn diverge_at(&self) -> Option<u64> {
+        self.diverge_at
+    }
+
+    /// Opens a cursor over the actual stream.
+    pub fn actual_cursor(&self) -> EventCursor<'_> {
+        EventCursor { event: self, seg: self.actual.cursor(), base: 0, speculative: false, in_tail: false }
+    }
+
+    /// Opens a cursor over the speculative view: the actual arrays up to
+    /// the divergence point, then the speculative tail.
+    pub fn speculative_cursor(&self) -> EventCursor<'_> {
+        EventCursor { event: self, seg: self.actual.cursor(), base: 0, speculative: true, in_tail: false }
+    }
+
+    /// Bytes of heap this event's packed arrays occupy.
+    pub fn resident_bytes(&self) -> u64 {
+        self.actual.resident_bytes() + self.spec_tail.resident_bytes()
+    }
+}
+
+/// A resumable cursor over one [`PackedEvent`], in either the actual or
+/// the speculative view. Forking (for runahead) copies the cursor; no
+/// event state is duplicated.
+#[derive(Clone, Debug)]
+pub struct EventCursor<'a> {
+    event: &'a PackedEvent,
+    seg: PackedCursor<'a>,
+    /// Instructions emitted before the current segment (0 while reading
+    /// the actual arrays; the divergence point once in the tail).
+    base: u64,
+    speculative: bool,
+    in_tail: bool,
+}
+
+impl EventStream for EventCursor<'_> {
+    #[inline(always)]
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.speculative && !self.in_tail && Some(self.seg.position()) == self.event.diverge_at
+        {
+            // The pre-execution veers off the actual path here; continue
+            // in the recorded speculative tail.
+            self.base = self.seg.position();
+            self.seg = self.event.spec_tail.cursor();
+            self.in_tail = true;
+        }
+        self.seg.next()
+    }
+
+    #[inline]
+    fn executed(&self) -> u64 {
+        self.base + self.seg.position()
+    }
+
+    fn fork(&self) -> Box<dyn EventStream + '_> {
+        Box::new(self.clone())
+    }
+}
+
+impl<'a> crate::ForkStream for EventCursor<'a> {
+    type Forked<'s>
+        = EventCursor<'a>
+    where
+        Self: 's;
+
+    #[inline]
+    fn fork_stream(&self) -> EventCursor<'a> {
+        self.clone()
+    }
+}
+
+/// Every event of one workload, packed. Simulations share one arena
+/// read-only across all configurations and worker threads.
+#[derive(Clone, Debug, Default)]
+pub struct TraceArena {
+    events: Vec<PackedEvent>,
+}
+
+impl TraceArena {
+    /// Wraps materialised events (indexed by event id).
+    pub fn new(events: Vec<PackedEvent>) -> Self {
+        TraceArena { events }
+    }
+
+    /// The number of events stored.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the arena holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The packed streams of event `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn event(&self, idx: usize) -> &PackedEvent {
+        &self.events[idx]
+    }
+
+    /// Total instructions stored across all actual streams.
+    pub fn total_instructions(&self) -> u64 {
+        self.events.iter().map(|e| e.actual.len() as u64).sum()
+    }
+
+    /// Bytes of heap the whole arena occupies.
+    pub fn resident_bytes(&self) -> u64 {
+        self.events.iter().map(PackedEvent::resident_bytes).sum()
+    }
+}
+
+/// A [`Workload`] that replays a shared [`TraceArena`] instead of
+/// regenerating streams: the decode-once, replay-many form of a
+/// generated workload.
+///
+/// Opening a stream is O(1) and allocation-free apart from the trait
+/// object box; the arena is behind an [`Arc`] so clones of the workload
+/// (e.g. across worker threads) share the instruction store.
+#[derive(Clone, Debug)]
+pub struct PackedWorkload {
+    records: Vec<EventRecord>,
+    arena: Arc<TraceArena>,
+    total_instructions: u64,
+}
+
+impl PackedWorkload {
+    /// Builds a packed workload from its event metadata and arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` and `arena` disagree on the event count.
+    pub fn new(records: Vec<EventRecord>, arena: Arc<TraceArena>, total_instructions: u64) -> Self {
+        assert_eq!(records.len(), arena.len(), "one packed event per record");
+        PackedWorkload { records, arena, total_instructions }
+    }
+
+    /// The shared instruction store.
+    pub fn arena(&self) -> &Arc<TraceArena> {
+        &self.arena
+    }
+
+    /// Bytes of heap the shared arena occupies.
+    pub fn resident_bytes(&self) -> u64 {
+        self.arena.resident_bytes()
+    }
+}
+
+impl Workload for PackedWorkload {
+    fn events(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    fn actual_stream(&self, id: EventId) -> Box<dyn EventStream + '_> {
+        Box::new(self.arena.event(id.index() as usize).actual_cursor())
+    }
+
+    fn speculative_stream(&self, id: EventId) -> Box<dyn EventStream + '_> {
+        Box::new(self.arena.event(id.index() as usize).speculative_cursor())
+    }
+
+    fn approx_total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    fn as_packed(&self) -> Option<&PackedWorkload> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record_stream, VecEventStream};
+
+    fn a(v: u64) -> Addr {
+        Addr::new(v)
+    }
+
+    /// A control-flow-consistent stream exercising every kind.
+    fn consistent() -> Vec<Instr> {
+        vec![
+            Instr::alu(a(0x1000)),
+            Instr::load(a(0x1004), a(0x8000_0000), true),
+            Instr::store(a(0x1008), a(0x7fff_0008)),
+            Instr::cond_branch(a(0x100c), false, a(0x2000)),
+            Instr::cond_branch(a(0x1010), true, a(0x2000)),
+            Instr::indirect(a(0x2000), a(0x3000)),
+            Instr::indirect_call(a(0x3000), a(0x4000)),
+            Instr::call(a(0x4000), a(0x5000)),
+            Instr::ret(a(0x5000), a(0x4004)),
+            Instr::load(a(0x4004), a(0xdead_bee8), false),
+        ]
+    }
+
+    /// A stream with pc discontinuities (as an arbitrary external trace
+    /// may have).
+    fn discontinuous() -> Vec<Instr> {
+        vec![
+            Instr::alu(a(0x1000)),
+            Instr::alu(a(0x9000)),
+            Instr::load(a(0x9004), a(0x100), false),
+            Instr::alu(a(0x40)),
+            Instr::ret(a(0x44), a(0x48)),
+            Instr::alu(a(0x100)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_consistent_stream() {
+        let v = consistent();
+        let p = PackedTrace::from_instrs(&v);
+        assert_eq!(p.len(), v.len());
+        let got = record_stream(&mut p.cursor(), usize::MAX);
+        assert_eq!(got, v);
+        // No discontinuities: every operand slot is a real operand (9
+        // non-ALU instructions), no explicit pcs.
+        assert_eq!(p.ops.len(), 9);
+    }
+
+    #[test]
+    fn roundtrip_discontinuous_stream() {
+        let v = discontinuous();
+        let p = PackedTrace::from_instrs(&v);
+        let got = record_stream(&mut p.cursor(), usize::MAX);
+        assert_eq!(got, v);
+        // 2 real operands + 4 explicit pcs (0x9000, 0x40, and 0x100
+        // after the return... count via flags instead).
+        let explicit = p.kinds.iter().filter(|&&k| k & EXPLICIT_PC != 0).count();
+        assert!(explicit >= 3, "discontinuities must be flagged");
+    }
+
+    #[test]
+    fn packing_is_compact() {
+        let v = consistent();
+        let p = PackedTrace::from_instrs(&v);
+        let fat = std::mem::size_of::<Instr>() * v.len();
+        assert!(
+            (p.kinds.len() + p.ops.len() * 8) < fat,
+            "packed {} !< fat {fat}",
+            p.kinds.len() + p.ops.len() * 8
+        );
+        assert!(p.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn cursor_matches_vec_stream_incrementally() {
+        let v = consistent();
+        let p = PackedTrace::from_instrs(&v);
+        let mut cursor = p.cursor();
+        let mut reference = VecEventStream::new(v);
+        loop {
+            assert_eq!(cursor.executed(), reference.executed());
+            let (got, want) = (cursor.next_instr(), reference.next_instr());
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fork_resumes_identically() {
+        let p = PackedTrace::from_instrs(&consistent());
+        let mut cur = p.cursor();
+        cur.next_instr();
+        cur.next_instr();
+        let rest_forked = {
+            let mut forked = cur.fork();
+            assert_eq!(forked.executed(), cur.executed());
+            record_stream(&mut *forked, usize::MAX)
+        };
+        let rest_original = record_stream(&mut cur, usize::MAX);
+        assert_eq!(rest_forked, rest_original);
+    }
+
+    #[test]
+    fn from_stream_drains_everything() {
+        let v = consistent();
+        let mut s = VecEventStream::new(v.clone());
+        let p = PackedTrace::from_stream(&mut s);
+        assert_eq!(p.len(), v.len());
+        assert_eq!(record_stream(&mut p.cursor(), usize::MAX), v);
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        let p = PackedTrace::new();
+        assert!(p.is_empty());
+        assert_eq!(p.cursor().next(), None);
+    }
+
+    fn diverging_event() -> (PackedEvent, Vec<Instr>, Vec<Instr>) {
+        let actual = consistent();
+        // The speculative view matches for 4 instructions, then veers.
+        let mut spec = actual[..4].to_vec();
+        spec.push(Instr::alu(a(0x8888)));
+        spec.push(Instr::load(a(0x888c), a(0x42_0000), false));
+        let tail = PackedTrace::from_instrs(&spec[4..]);
+        let ev = PackedEvent::new(PackedTrace::from_instrs(&actual), Some(4), tail);
+        (ev, actual, spec)
+    }
+
+    #[test]
+    fn event_cursor_actual_ignores_divergence() {
+        let (ev, actual, _) = diverging_event();
+        let got = record_stream(&mut ev.actual_cursor(), usize::MAX);
+        assert_eq!(got, actual);
+    }
+
+    #[test]
+    fn event_cursor_speculative_switches_at_divergence() {
+        let (ev, actual, spec) = diverging_event();
+        let mut cur = ev.speculative_cursor();
+        let got = record_stream(&mut cur, usize::MAX);
+        assert_eq!(got, spec);
+        assert_eq!(got[..4], actual[..4], "shared prefix reads the actual arrays");
+        assert_eq!(cur.executed(), spec.len() as u64);
+    }
+
+    #[test]
+    fn event_cursor_fork_across_divergence() {
+        let (ev, _, spec) = diverging_event();
+        let mut cur = ev.speculative_cursor();
+        for _ in 0..3 {
+            cur.next_instr();
+        }
+        let mut forked = cur.fork();
+        let rest = record_stream(&mut *forked, usize::MAX);
+        assert_eq!(rest, spec[3..]);
+    }
+
+    #[test]
+    fn no_divergence_event_replays_actual_in_both_views() {
+        let actual = consistent();
+        let ev = PackedEvent::new(PackedTrace::from_instrs(&actual), None, PackedTrace::new());
+        assert_eq!(record_stream(&mut ev.actual_cursor(), usize::MAX), actual);
+        assert_eq!(record_stream(&mut ev.speculative_cursor(), usize::MAX), actual);
+    }
+
+    #[test]
+    fn divergence_beyond_budget_never_triggers() {
+        let actual = consistent();
+        let ev =
+            PackedEvent::new(PackedTrace::from_instrs(&actual), Some(10_000), PackedTrace::new());
+        assert_eq!(record_stream(&mut ev.speculative_cursor(), usize::MAX), actual);
+    }
+
+    #[test]
+    fn arena_and_workload_accessors() {
+        let (ev, actual, _) = diverging_event();
+        let arena = Arc::new(TraceArena::new(vec![ev]));
+        assert_eq!(arena.len(), 1);
+        assert!(!arena.is_empty());
+        assert_eq!(arena.total_instructions(), actual.len() as u64);
+        assert!(arena.resident_bytes() > 0);
+        let record = EventRecord {
+            id: EventId::new(0),
+            kind: esp_types::EventKindId::new(0),
+            handler_pc: a(0x1000),
+            arg_addr: a(0x8000_0000),
+            approx_len: actual.len() as u64,
+            post_time: esp_types::Cycle::ZERO,
+            order_mispredicted: false,
+        };
+        let w = PackedWorkload::new(vec![record], arena, actual.len() as u64);
+        assert_eq!(w.events().len(), 1);
+        assert_eq!(w.approx_total_instructions(), actual.len() as u64);
+        assert!(w.resident_bytes() > 0);
+        let got = record_stream(&mut *w.actual_stream(EventId::new(0)), usize::MAX);
+        assert_eq!(got, actual);
+        let spec = record_stream(&mut *w.speculative_stream(EventId::new(0)), usize::MAX);
+        assert_eq!(spec.len(), 4 + 2, "divergence prefix plus recorded tail");
+    }
+}

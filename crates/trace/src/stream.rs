@@ -1,6 +1,6 @@
 //! Resumable event instruction streams and the workload abstraction.
 
-use crate::{EventRecord, Instr};
+use crate::{EventRecord, Instr, PackedWorkload};
 use esp_types::EventId;
 
 /// A resumable cursor over one event's dynamic instruction stream.
@@ -27,6 +27,50 @@ pub trait EventStream {
     fn fork(&self) -> Box<dyn EventStream + '_>;
 }
 
+impl<S: EventStream + ?Sized> EventStream for Box<S> {
+    #[inline]
+    fn next_instr(&mut self) -> Option<Instr> {
+        (**self).next_instr()
+    }
+
+    #[inline]
+    fn executed(&self) -> u64 {
+        (**self).executed()
+    }
+
+    fn fork(&self) -> Box<dyn EventStream + '_> {
+        (**self).fork()
+    }
+}
+
+/// [`EventStream::fork`] without the mandatory box: implementors name
+/// the concrete cursor type their fork produces, so a monomorphised
+/// simulation loop (see `as_packed` on [`Workload`]) can spin off a
+/// runahead side-execution with a plain struct copy instead of a heap
+/// allocation and virtual dispatch per pre-executed instruction.
+/// Runahead opens one fork per stall window — hundreds of thousands per
+/// simulation.
+pub trait ForkStream: EventStream {
+    /// The stream type a fork yields.
+    type Forked<'s>: EventStream
+    where
+        Self: 's;
+
+    /// Checkpoints the cursor, like [`EventStream::fork`].
+    fn fork_stream(&self) -> Self::Forked<'_>;
+}
+
+impl<S: EventStream + ?Sized> ForkStream for Box<S> {
+    type Forked<'s>
+        = Box<dyn EventStream + 's>
+    where
+        Self: 's;
+
+    fn fork_stream(&self) -> Box<dyn EventStream + '_> {
+        (**self).fork()
+    }
+}
+
 /// A complete asynchronous program: an ordered schedule of events, each of
 /// which can be opened for normal execution or for speculative
 /// pre-execution.
@@ -51,6 +95,15 @@ pub trait Workload {
     /// observe. May diverge from [`Workload::actual_stream`] part-way
     /// through.
     fn speculative_stream(&self, id: EventId) -> Box<dyn EventStream + '_>;
+
+    /// Downcast hook for the decode-once arena: [`PackedWorkload`]
+    /// returns itself, letting the simulator's per-instruction loops run
+    /// over a concrete, inlinable cursor instead of a boxed trait object.
+    /// Timing and statistics are identical on both paths — this is purely
+    /// a dispatch optimisation.
+    fn as_packed(&self) -> Option<&PackedWorkload> {
+        None
+    }
 
     /// Total dynamic instructions across all events (sum of `approx_len`
     /// unless an implementation knows better).

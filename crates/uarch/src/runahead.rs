@@ -77,7 +77,21 @@ impl Engine {
         window: u64,
         data_only: bool,
     ) -> RunaheadOutcome {
-        let mut cursor = stream.fork();
+        self.run_runahead_cursor(stream.fork(), start, window, data_only)
+    }
+
+    /// The runahead episode loop over an already-forked cursor. Generic
+    /// so the packed-arena fast path (see `Workload::as_packed`) runs it
+    /// over a concrete [`EventStream`] — no heap-allocated fork, no
+    /// virtual dispatch per pre-executed instruction. Timing is
+    /// identical on both paths.
+    pub fn run_runahead_cursor<C: EventStream>(
+        &mut self,
+        mut cursor: C,
+        start: Cycle,
+        window: u64,
+        data_only: bool,
+    ) -> RunaheadOutcome {
         let checkpoint = self.bp_mut().checkpoint_speculative();
         let mut out = RunaheadOutcome::default();
         // Entering and leaving runahead each cost a pipeline drain/refill

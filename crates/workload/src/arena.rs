@@ -1,0 +1,256 @@
+//! Materialisation of generated workloads into packed trace arenas, and
+//! a process-wide memoised cache so each (profile, scale, seed) is
+//! decoded exactly once.
+//!
+//! A [`GeneratedWorkload`] regenerates instruction streams from seeds —
+//! cheap to hold, expensive to replay. [`GeneratedWorkload::materialise_par`]
+//! walks every event once (actual stream, plus the speculative tail past
+//! the recorded divergence point) and packs the result into a shared
+//! [`TraceArena`]; the returned [`PackedWorkload`] replays it with
+//! allocation-free cursors. The cache in this module memoises both the
+//! generation and the materialisation per `(profile name, scale, seed)`,
+//! so the evaluation matrix, `repro dump`, `repro explain`, and `repro
+//! check` all share one arena per workload instead of regenerating per
+//! invocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_workload::{arena, BenchmarkProfile};
+//! use esp_trace::Workload;
+//!
+//! let profile = BenchmarkProfile::pixlr().scaled(40_000);
+//! let packed = arena::packed_for(&profile, 7, 1);
+//! let again = arena::packed_for(&profile, 7, 1);
+//! assert!(std::sync::Arc::ptr_eq(&packed, &again), "second call is warm");
+//! assert!(!packed.events().is_empty());
+//! ```
+
+use crate::{BenchmarkProfile, GeneratedWorkload};
+use esp_trace::{EventStream, PackedEvent, PackedTrace, PackedWorkload, TraceArena, Workload};
+use esp_types::EventId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+impl GeneratedWorkload {
+    /// Materialises every event's streams into a packed arena, fanning
+    /// the per-event decode out over up to `threads` workers.
+    ///
+    /// The result replays bit-identically: the packed actual stream is
+    /// the full regenerative walk, and the speculative view shares the
+    /// actual arrays up to the event's recorded divergence point, then
+    /// continues in a tail recorded from the speculative walk. Decoding
+    /// is seed-deterministic, so the arena contents are independent of
+    /// `threads`.
+    pub fn materialise_par(&self, threads: usize) -> PackedWorkload {
+        let details = self.schedule().details();
+        let events = esp_par::parallel_map(threads, details, |_, d| {
+            let id = EventId::new(d.index);
+            let mut actual = PackedTrace::from_stream(&mut self.walk_actual(id));
+            actual.shrink_to_fit();
+            let (diverge_at, tail) = match d.diverge_at {
+                // A divergence point past the event's budget never
+                // triggers; store the event as non-diverging.
+                Some(at) if at < d.len => {
+                    let mut spec = self.walk_speculative(id);
+                    for _ in 0..at {
+                        spec.next_instr();
+                    }
+                    let mut tail = PackedTrace::from_stream(&mut spec);
+                    tail.shrink_to_fit();
+                    (Some(at), tail)
+                }
+                _ => (None, PackedTrace::new()),
+            };
+            PackedEvent::new(actual, diverge_at, tail)
+        });
+        PackedWorkload::new(
+            self.events().to_vec(),
+            Arc::new(TraceArena::new(events)),
+            self.approx_total_instructions(),
+        )
+    }
+
+    /// Sequential [`GeneratedWorkload::materialise_par`].
+    pub fn materialise(&self) -> PackedWorkload {
+        self.materialise_par(1)
+    }
+}
+
+/// Cache key: profile name, target instruction scale, generation seed —
+/// everything [`BenchmarkProfile::scaled`] + [`BenchmarkProfile::build`]
+/// depend on.
+type Key = (&'static str, u64, u64);
+
+struct Entry {
+    generated: Arc<GeneratedWorkload>,
+    packed: Option<Arc<PackedWorkload>>,
+}
+
+fn cache() -> &'static Mutex<HashMap<Key, Entry>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Entry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn key_of(profile: &BenchmarkProfile, seed: u64) -> Key {
+    (profile.name(), profile.params().target_instructions, seed)
+}
+
+/// Returns the memoised generated workload for `profile` (already
+/// scaled) and `seed`, generating it on first use.
+///
+/// Generation happens outside the cache lock; under a race both callers
+/// build the same deterministic workload and the first insert wins.
+pub fn generated(profile: &BenchmarkProfile, seed: u64) -> Arc<GeneratedWorkload> {
+    let key = key_of(profile, seed);
+    if let Some(e) = cache().lock().expect("arena cache poisoned").get(&key) {
+        return e.generated.clone();
+    }
+    let built = Arc::new(profile.build(seed));
+    let mut map = cache().lock().expect("arena cache poisoned");
+    map.entry(key)
+        .or_insert(Entry { generated: built, packed: None })
+        .generated
+        .clone()
+}
+
+/// Hands an already-built workload to the cache and returns its memoised
+/// packed form, materialising on first use (fanned over `threads`).
+///
+/// Callers that built `workload` themselves (e.g. the bench runner's
+/// parallel generation phase) use this to avoid a second generation;
+/// everyone else can call [`packed_for`].
+pub fn packed(
+    profile: &BenchmarkProfile,
+    workload: &Arc<GeneratedWorkload>,
+    seed: u64,
+    threads: usize,
+) -> Arc<PackedWorkload> {
+    let key = key_of(profile, seed);
+    if let Some(p) = cache()
+        .lock()
+        .expect("arena cache poisoned")
+        .get(&key)
+        .and_then(|e| e.packed.clone())
+    {
+        return p;
+    }
+    let built = Arc::new(workload.materialise_par(threads));
+    let mut map = cache().lock().expect("arena cache poisoned");
+    let entry = map
+        .entry(key)
+        .or_insert(Entry { generated: workload.clone(), packed: None });
+    entry.packed.get_or_insert(built).clone()
+}
+
+/// The memoised packed workload for `profile` (already scaled) and
+/// `seed`: generates and materialises on first use, warm afterwards.
+pub fn packed_for(profile: &BenchmarkProfile, seed: u64, threads: usize) -> Arc<PackedWorkload> {
+    let w = generated(profile, seed);
+    packed(profile, &w, seed, threads)
+}
+
+/// Drops every cached workload and arena (tests and memory-pressure
+/// escape hatch).
+pub fn reset() {
+    cache().lock().expect("arena cache poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_trace::{record_stream, Workload};
+
+    fn profile() -> BenchmarkProfile {
+        // Small but non-trivial: enough events for diverging ones to
+        // exist at the default 2 % rate... not guaranteed, so tests that
+        // need divergence pick a profile/seed checked to contain one.
+        BenchmarkProfile::amazon().scaled(60_000)
+    }
+
+    #[test]
+    fn packed_streams_match_walk_streams() {
+        let w = profile().build(42);
+        let p = w.materialise();
+        assert_eq!(p.events(), w.events());
+        assert_eq!(p.approx_total_instructions(), w.approx_total_instructions());
+        for r in w.events() {
+            let a = record_stream(&mut *w.actual_stream(r.id), usize::MAX);
+            let pa = record_stream(&mut *p.actual_stream(r.id), usize::MAX);
+            assert_eq!(a, pa, "actual stream of {} differs", r.id);
+            let s = record_stream(&mut *w.speculative_stream(r.id), usize::MAX);
+            let ps = record_stream(&mut *p.speculative_stream(r.id), usize::MAX);
+            assert_eq!(s, ps, "speculative stream of {} differs", r.id);
+        }
+    }
+
+    #[test]
+    fn packed_covers_a_diverging_event() {
+        // Hunt a seed whose schedule contains an in-budget divergence so
+        // the tail path is genuinely exercised.
+        for seed in 0..40 {
+            let w = profile().build(seed);
+            let diverging: Vec<u64> = w
+                .schedule()
+                .details()
+                .iter()
+                .filter(|d| d.diverge_at.is_some_and(|at| at < d.len))
+                .map(|d| d.index)
+                .collect();
+            if diverging.is_empty() {
+                continue;
+            }
+            let p = w.materialise();
+            for idx in diverging {
+                let id = EventId::new(idx);
+                let s = record_stream(&mut *w.speculative_stream(id), usize::MAX);
+                let ps = record_stream(&mut *p.speculative_stream(id), usize::MAX);
+                assert_eq!(s, ps, "diverging event {id} differs");
+                let a = record_stream(&mut *w.actual_stream(id), usize::MAX);
+                assert_ne!(a, s, "event {id} was supposed to diverge");
+            }
+            return;
+        }
+        panic!("no diverging event found in 40 seeds");
+    }
+
+    #[test]
+    fn materialise_is_thread_invariant() {
+        let w = profile().build(9);
+        let a = w.materialise_par(1);
+        let b = w.materialise_par(4);
+        assert_eq!(a.arena().len(), b.arena().len());
+        for i in 0..a.arena().len() {
+            assert_eq!(a.arena().event(i), b.arena().event(i), "event {i}");
+        }
+    }
+
+    #[test]
+    fn cache_returns_shared_arcs() {
+        reset();
+        let pr = BenchmarkProfile::gdocs().scaled(30_000);
+        let g1 = generated(&pr, 5);
+        let g2 = generated(&pr, 5);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let p1 = packed(&pr, &g1, 5, 2);
+        let p2 = packed_for(&pr, 5, 2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // Different seed or scale miss the cache.
+        let g3 = generated(&pr, 6);
+        assert!(!Arc::ptr_eq(&g1, &g3));
+        reset();
+        let g4 = generated(&pr, 5);
+        assert!(!Arc::ptr_eq(&g1, &g4), "reset must drop entries");
+    }
+
+    #[test]
+    fn arena_reports_resident_bytes() {
+        let w = BenchmarkProfile::pixlr().scaled(20_000).build(3);
+        let p = w.materialise();
+        let bytes = p.resident_bytes();
+        assert!(bytes > 0);
+        // SoA packing beats Vec<Instr> (32 B/instr) by a wide margin.
+        let fat = p.approx_total_instructions() * std::mem::size_of::<esp_trace::Instr>() as u64;
+        assert!(bytes * 2 < fat, "packed {bytes} vs fat {fat}");
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Reproduces the committed BENCH_repro.json throughput record.
+#
+#   ./scripts/bench.sh            # the documented scale-600000 run
+#   ./scripts/bench.sh --repeat 5 # extra repetitions on a noisy host
+#
+# The bench runs the full evaluation matrix (7 profiles x 29 configs =
+# 203 simulations) twice: pass 1 cold on one thread (generate +
+# materialise + simulate), pass 2 warm on all cores (arena reused).
+# Each pass is best-of-N (default 3) because the work is deterministic,
+# so the minimum is the least-disturbed measurement; see
+# docs/PERFORMANCE.md for the protocol. Extra arguments are forwarded
+# to `repro` after the defaults, so they win.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p esp-bench
+exec ./target/release/repro --scale 600000 --seed 42 --force "$@" bench

@@ -24,10 +24,35 @@ cargo run --release -q -p esp-bench --bin repro -- --scale 30000 --fuzz 8 check
 echo "== determinism: parallel runner == sequential simulation =="
 cargo test -q --release -p esp-bench --test determinism
 
+echo "== packed arena: bit-equivalence vs regenerative streams =="
+cargo test -q --release -p esp-bench --test packed_equivalence
+
 echo "== observability: conservation + thread-count invariance =="
 cargo test -q --release -p esp-bench --test observability
 
 echo "== docs: cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== timing smoke (informational, non-gating) =="
+# A small single-repetition bench so every verify run prints a
+# throughput number next to the correctness results. Small scale and a
+# shared host make this noisy, hence non-gating; the committed record
+# comes from ./scripts/bench.sh (see docs/PERFORMANCE.md). Runs in a
+# scratch directory so the committed BENCH_repro.json is untouched.
+smoke_dir="$(mktemp -d)"
+( cd "$smoke_dir" &&
+  "$OLDPWD/target/release/repro" --scale 60000 --seed 42 --repeat 1 bench &&
+  if command -v python3 >/dev/null; then
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_repro.json"))
+print(f"  sims/sec: {d['sims_per_sec_1t']:.1f} (1 thread, cold), "
+      f"{d['sims_per_sec_nt']:.1f} ({d['threads_nt']} threads, warm) "
+      f"at scale {d['scale']}")
+PY
+  else
+    cat BENCH_repro.json
+  fi ) || echo "  (timing smoke failed -- ignored)"
+rm -rf "$smoke_dir"
 
 echo "verify: OK"
