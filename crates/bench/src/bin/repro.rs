@@ -40,13 +40,24 @@
 //! profile/scale/seed decode the workload once.
 //!
 //! Performance (see `docs/PERFORMANCE.md`): `bench` runs the full
-//! evaluation matrix twice — cold at one thread, then warm at
-//! `--threads` — and writes a `BENCH_repro.json` with per-phase wall
-//! times (generate/materialise/simulate), arena resident bytes, and both
-//! single- and multi-thread throughput. `scripts/bench.sh` wraps the
-//! documented scale-600000 invocation.
+//! evaluation matrix three times — cold at one thread, warm at
+//! `--threads` (skipped, with a JSON note, when only one core is
+//! visible), and warm in statistical-sampling mode — and writes a
+//! `BENCH_repro.json` with per-phase wall times
+//! (generate/materialise/simulate), arena resident bytes, exact and
+//! sampled throughput, and the sampled run's measured CPI error
+//! against exact ground truth. `scripts/bench.sh` wraps the documented
+//! scale-600000 invocation.
+//!
+//! Sampling (the `esp-sample` engine, `--sample-period` /
+//! `--sample-grain`): any figure run can trade exactness for speed by
+//! measuring one grain in every P; results are estimates with a
+//! reported confidence interval and `BENCH_repro.json` is marked
+//! `"mode": "sampled"`. The default exact path is byte-identical to a
+//! build without the sampling engine.
 
 use esp_bench::{explain, figures, ConfigKey, Runner};
+use esp_core::SampleParams;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -59,6 +70,8 @@ fn main() -> ExitCode {
     let mut force = false;
     let mut repeat: usize = 3;
     let mut fuzz_cases: usize = 10;
+    let mut sample_period: Option<u64> = None;
+    let mut sample_grain: u64 = SampleParams::default().grain_instrs;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -89,6 +102,14 @@ fn main() -> ExitCode {
             "--fuzz" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => fuzz_cases = v,
                 None => return usage("--fuzz needs an integer"),
+            },
+            "--sample-period" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 3 => sample_period = Some(v),
+                _ => return usage("--sample-period needs an integer >= 3"),
+            },
+            "--sample-grain" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => sample_grain = v,
+                _ => return usage("--sample-grain needs a positive integer"),
             },
             "--help" | "-h" => return usage(""),
             other => wanted.push(other.to_string()),
@@ -125,7 +146,9 @@ fn main() -> ExitCode {
     match wanted.first().map(String::as_str) {
         Some("dump") => return dump(scale, seed),
         Some("check") => return check(scale, seed, fuzz_cases),
-        Some("bench") => return bench(scale, seed, threads, force, repeat),
+        Some("bench") => {
+            return bench(scale, seed, threads, force, repeat, sample_grain, sample_period)
+        }
         _ => {}
     }
     // Validate every name up front so a typo fails before any workload
@@ -143,6 +166,19 @@ fn main() -> ExitCode {
     eprintln!("# generating workloads (scale {scale}, seed {seed}, {threads} threads)...");
     let mut runner = Runner::with_threads(scale, seed, threads);
     eprintln!("# workloads ready in {:.2}s", t_start.elapsed().as_secs_f64());
+
+    // Statistical-sampling mode: every simulation estimates its CPI
+    // stack from periodic detailed grains instead of running exactly.
+    // Sampled figures are approximations — see docs/PERFORMANCE.md for
+    // the error envelope and the quoting policy.
+    if let Some(period) = sample_period {
+        let params = SampleParams::new(sample_grain, period);
+        runner.set_sampling(Some(params));
+        eprintln!(
+            "# sampling mode: grain {} instrs, period {} (measuring 1/{} of each run)",
+            params.grain_instrs, params.period, params.period
+        );
+    }
 
     // Attach the trace sink before any simulation runs; refuse paths we
     // cannot create instead of failing mid-run.
@@ -291,15 +327,31 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
 /// single worker thread — the comparable trajectory number. Pass 2
 /// reruns it at `--threads` (default: the machine's parallelism) with
 /// the workload and arena caches warm, isolating simulation scaling
-/// from one-time decode cost. Each pass is repeated `--repeat` times
-/// (default 3) and the fastest repetition is recorded — the standard
-/// protocol for shared machines, where the minimum is the run least
-/// disturbed by background load (every repetition simulates the exact
-/// same deterministic work, so they are directly comparable). Both
+/// from one-time decode cost; on a machine where only one core is
+/// visible the pass is skipped and recorded as such (an "Nt" number
+/// measured at one thread would just duplicate pass 1). Pass 3 reruns
+/// the matrix warm in statistical-sampling mode (`--sample-grain` /
+/// `--sample-period`, defaulting to the documented operating point) and
+/// cross-checks its CPI against the exact reports of every profile ×
+/// {base, runahead, esp_nl} — the per-profile error table goes to
+/// stderr, the max/mean to the JSON. Each pass is repeated `--repeat`
+/// times (default 3) and the fastest repetition is recorded — the
+/// standard protocol for shared machines, where the minimum is the run
+/// least disturbed by background load (every repetition simulates the
+/// exact same deterministic work, so they are directly comparable). All
 /// passes and the per-phase wall times land in `BENCH_repro.json`
 /// (guarded against cross-scale overwrite, as for figure runs).
-fn bench(scale: u64, seed: u64, threads: Option<usize>, force: bool, repeat: usize) -> ExitCode {
-    let threads_nt = threads.unwrap_or_else(esp_par::threads);
+fn bench(
+    scale: u64,
+    seed: u64,
+    threads: Option<usize>,
+    force: bool,
+    repeat: usize,
+    sample_grain: u64,
+    sample_period: Option<u64>,
+) -> ExitCode {
+    let cores = esp_par::threads();
+    let threads_nt = threads.unwrap_or(cores);
     if !bench_json_writable(scale, force) {
         return ExitCode::from(2);
     }
@@ -332,43 +384,119 @@ fn bench(scale: u64, seed: u64, threads: Option<usize>, force: bool, repeat: usi
         arena_bytes as f64 / (1024.0 * 1024.0),
     );
 
-    eprintln!("# bench pass 2: warm arenas, {threads_nt} threads, best of {repeat}...");
+    // Pass 2 measures multi-thread scaling, so it is only honest when
+    // more than one core is actually available: a "N-thread" number
+    // collected on one visible core is pass 1 with a misleading label.
     let mut best_nt: Option<(f64, esp_bench::PhaseSeconds)> = None;
+    let mut nt_note = None;
+    if threads_nt > 1 {
+        eprintln!("# bench pass 2: warm arenas, {threads_nt} threads, best of {repeat}...");
+        for rep in 1..=repeat {
+            let t = Instant::now();
+            let mut warm = Runner::with_threads(scale, seed, threads_nt);
+            warm.ensure(ConfigKey::all());
+            let total = t.elapsed().as_secs_f64();
+            eprintln!("#   rep {rep}: {total:.2}s ({:.3} sims/s)", sims as f64 / total.max(1e-9));
+            if best_nt.as_ref().is_none_or(|(b, _)| total < *b) {
+                best_nt = Some((total, warm.phase_seconds()));
+            }
+        }
+    } else {
+        let note = format!("N-thread pass skipped: only {cores} core visible");
+        eprintln!("# bench pass 2: {note}");
+        nt_note = Some(note);
+    }
+
+    // Pass 3: the same matrix in statistical-sampling mode, warm, one
+    // thread — directly comparable to pass 1's simulate phase. The last
+    // repetition's reports feed the error cross-check below (sampling is
+    // deterministic, so every repetition produces identical reports).
+    let sp = SampleParams::new(sample_grain, sample_period.unwrap_or(SampleParams::default().period));
+    eprintln!(
+        "# bench pass 3: sampled (grain {}, period {}), warm, 1 thread, best of {repeat}...",
+        sp.grain_instrs, sp.period
+    );
+    let mut best_s: Option<(f64, esp_bench::PhaseSeconds)> = None;
+    let mut sampled_runner: Option<Runner> = None;
     for rep in 1..=repeat {
         let t = Instant::now();
-        let mut warm = Runner::with_threads(scale, seed, threads_nt);
-        warm.ensure(ConfigKey::all());
+        let mut r = Runner::with_threads(scale, seed, 1);
+        r.set_sampling(Some(sp));
+        r.ensure(ConfigKey::all());
         let total = t.elapsed().as_secs_f64();
         eprintln!("#   rep {rep}: {total:.2}s ({:.3} sims/s)", sims as f64 / total.max(1e-9));
-        if best_nt.as_ref().is_none_or(|(b, _)| total < *b) {
-            best_nt = Some((total, warm.phase_seconds()));
+        if best_s.as_ref().is_none_or(|(b, _)| total < *b) {
+            best_s = Some((total, r.phase_seconds()));
         }
+        sampled_runner = Some(r);
     }
-    let (total_nt, phases_nt) = best_nt.expect("repeat >= 1");
+    let (total_s, phases_s) = best_s.expect("repeat >= 1");
+    let sampled = sampled_runner.expect("repeat >= 1");
+    let speedup = phases.simulate / phases_s.simulate.max(1e-9);
     eprintln!(
-        "# pass 2: {sims} sims in {total_nt:.2}s ({:.3} sims/s)",
-        sims as f64 / total_nt.max(1e-9)
+        "# pass 3: {sims} sims in {total_s:.2}s (simulate {:.2}s vs exact {:.2}s: {speedup:.2}x)",
+        phases_s.simulate, phases.simulate
     );
 
+    // Sampled-vs-exact error report over the differential matrix
+    // (base / runahead / esp_nl per profile — the configurations the
+    // accuracy target is stated over).
+    let mut exact = Runner::with_threads(scale, seed, 1);
+    exact.ensure(&MATRIX);
+    let mut errs: Vec<f64> = Vec::new();
+    eprintln!("# sampled CPI error vs exact (per profile; base / runahead / esp_nl):");
+    for (i, name) in exact.names().iter().enumerate() {
+        let mut row = format!("#   {name:<9}");
+        for key in MATRIX {
+            let e = exact.cached(i, key).expect("ensured");
+            let s = sampled.cached(i, key).expect("ensured");
+            let e_cpi = e.busy_cycles() as f64 / e.engine.retired as f64;
+            let s_cpi = s.busy_cycles() as f64 / s.engine.retired as f64;
+            let err = 100.0 * (s_cpi - e_cpi) / e_cpi;
+            errs.push(err);
+            row.push_str(&format!(" {err:+6.2}%"));
+        }
+        eprintln!("{row}");
+    }
+    let max_err = errs.iter().fold(0f64, |m, e| m.max(e.abs()));
+    let mean_err = errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64;
+    eprintln!("# sampled error: max |{max_err:.2}|%, mean |{mean_err:.2}|% over {} cells", errs.len());
+
+    let nt_json = match (&best_nt, &nt_note) {
+        (Some((total_nt, phases_nt)), _) => format!(
+            "\n  \"threads_nt\": {threads_nt},\n  \"total_seconds_nt\": {total_nt:.3},\n  \
+             \"sims_per_sec_nt\": {:.3},\n  \"simulate_seconds_nt\": {:.3},",
+            sims as f64 / total_nt.max(1e-9),
+            phases_nt.simulate,
+        ),
+        (None, Some(note)) => format!("\n  \"threads_nt\": 1,\n  \"nt_note\": \"{note}\","),
+        (None, None) => unreachable!("one branch of pass 2 always runs"),
+    };
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,\n  \
-         \"threads_nt\": {threads_nt},\n  \"repeat\": {repeat},\n  \"sims_run\": {sims},\n  \
-         \"total_seconds\": {total_1t:.3},\n  \"total_seconds_nt\": {total_nt:.3},\n  \
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,{nt_json}\n  \
+         \"repeat\": {repeat},\n  \"sims_run\": {sims},\n  \
+         \"total_seconds\": {total_1t:.3},\n  \
          \"sims_per_sec\": {:.3},\n  \"sims_per_sec_1t\": {:.3},\n  \
-         \"sims_per_sec_nt\": {:.3},\n  \"arena_bytes\": {arena_bytes},\n  \
+         \"arena_bytes\": {arena_bytes},\n  \
          \"phase_seconds\": {{\"generate\": {:.3}, \"materialise\": {:.3}, \
-         \"simulate\": {:.3}, \"simulate_nt\": {:.3}}}\n}}\n",
+         \"simulate\": {:.3}}},\n  \
+         \"sampled\": {{\"grain_instrs\": {}, \"period\": {}, \"sims\": {sims},\n    \
+         \"total_seconds\": {total_s:.3}, \"simulate_seconds\": {:.3}, \
+         \"sims_per_sec\": {:.3},\n    \"simulate_speedup_vs_exact\": {speedup:.3}, \
+         \"max_cpi_error_pct\": {max_err:.3}, \"mean_cpi_error_pct\": {mean_err:.3}}}\n}}\n",
         sims as f64 / total_1t.max(1e-9),
         sims as f64 / total_1t.max(1e-9),
-        sims as f64 / total_nt.max(1e-9),
         phases.generate,
         phases.materialise,
         phases.simulate,
-        phases_nt.simulate,
+        sp.grain_instrs,
+        sp.period,
+        phases_s.simulate,
+        sims as f64 / total_s.max(1e-9),
     );
     match std::fs::write("BENCH_repro.json", &json) {
         Ok(()) => {
-            eprintln!("# wrote BENCH_repro.json ({sims} sims, 1t {total_1t:.2}s, {threads_nt}t {total_nt:.2}s)");
+            eprintln!("# wrote BENCH_repro.json ({sims} sims, 1t {total_1t:.2}s, sampled {total_s:.2}s)");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -426,8 +554,17 @@ fn write_bench_json(runner: &mut Runner, total_seconds: f64, cpi_stack: bool, fo
     };
     let sims = runner.sims_run();
     let phases = runner.phase_seconds();
+    // A sampled figure run produces estimated numbers; mark the record
+    // so its throughput is never confused with the exact trajectory.
+    let mode_section = match runner.sampling() {
+        Some(p) => format!(
+            ",\n  \"mode\": \"sampled\", \"sample_grain\": {}, \"sample_period\": {}",
+            p.grain_instrs, p.period
+        ),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"sims_run\": {},\n  \"total_seconds\": {:.3},\n  \"sims_per_sec\": {:.3},\n  \"arena_bytes\": {},\n  \"phase_seconds\": {{\"generate\": {:.3}, \"materialise\": {:.3}, \"simulate\": {:.3}}}{}\n}}\n",
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"sims_run\": {},\n  \"total_seconds\": {:.3},\n  \"sims_per_sec\": {:.3},\n  \"arena_bytes\": {},\n  \"phase_seconds\": {{\"generate\": {:.3}, \"materialise\": {:.3}, \"simulate\": {:.3}}}{}{}\n}}\n",
         runner.scale(),
         runner.seed(),
         runner.threads(),
@@ -439,6 +576,7 @@ fn write_bench_json(runner: &mut Runner, total_seconds: f64, cpi_stack: bool, fo
         phases.materialise,
         phases.simulate,
         stack_section,
+        mode_section,
     );
     match std::fs::write("BENCH_repro.json", &json) {
         Ok(()) => eprintln!("# wrote BENCH_repro.json ({sims} sims in {total_seconds:.2}s)"),
@@ -452,17 +590,20 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--scale N] [--seed S] [--threads T] [--trace FILE.jsonl] [--cpi-stack] \
-         [--force] [--fuzz N] [--repeat N] \
+         [--force] [--fuzz N] [--repeat N] [--sample-period P] [--sample-grain G] \
          <all | fig3 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 | ablate \
          | explain BENCHMARK... | check | dump | bench>\n\
          threads default to ESP_THREADS or the machine's parallelism;\n\
          --trace writes a JSONL span trace, --cpi-stack embeds per-benchmark CPI stacks\n\
          in BENCH_repro.json (schema: docs/OBSERVABILITY.md);\n\
          --force overwrites a BENCH_repro.json recorded at a different scale;\n\
+         --sample-period P runs figures in statistical-sampling mode (1 of every P\n\
+         grains of --sample-grain instructions is measured; see docs/PERFORMANCE.md);\n\
          check runs the differential oracle + a --fuzz N seeded sweep (docs/TESTING.md);\n\
          dump prints every profile's RunReports for cross-process determinism checks;\n\
-         bench runs the full matrix cold at 1 thread then warm at --threads (each pass\n\
-         best of --repeat, default 3) and records per-phase timings in BENCH_repro.json\n\
+         bench runs the full matrix cold at 1 thread, warm at --threads (skipped on a\n\
+         1-core machine), then warm in sampled mode with an error cross-check (each\n\
+         pass best of --repeat, default 3) and records all passes in BENCH_repro.json\n\
          (docs/PERFORMANCE.md)"
     );
     if err.is_empty() {

@@ -6,10 +6,10 @@
 //! the fan-out is fidelity-free), and [`Runner::run`] /
 //! [`Runner::improvements`] / [`Runner::metric`] become cache lookups.
 
-use esp_core::{RunReport, SimConfig, Simulator};
+use esp_core::{RunReport, SampleParams, SimConfig, SimMode, Simulator};
 use esp_obs::TraceProbe;
 use esp_stats::Table;
-use esp_trace::PackedWorkload;
+use esp_trace::{PackedWorkload, Workload};
 use esp_uarch::PerfectFlags;
 use esp_workload::{arena, BenchmarkProfile, GeneratedWorkload};
 use std::collections::HashMap;
@@ -232,6 +232,10 @@ pub struct Runner {
     phases: PhaseSeconds,
     cache: HashMap<(usize, ConfigKey), RunReport>,
     sims_run: u64,
+    /// When set, every simulation runs in statistical-sampling mode
+    /// (`Simulator::run_sampled`) with these parameters instead of the
+    /// exact interval loop; trace lines are tagged `"mode":"sampled"`.
+    sampling: Option<SampleParams>,
     /// JSONL trace sink; when set, every simulation runs with a
     /// [`TraceProbe`] and per-worker buffers are appended here in input
     /// order (so the file is byte-identical for any thread count).
@@ -276,8 +280,24 @@ impl Runner {
             phases: PhaseSeconds { generate, materialise, simulate: 0.0 },
             cache: HashMap::new(),
             sims_run: 0,
+            sampling: None,
             trace: None,
         }
+    }
+
+    /// Switches every *subsequent* simulation to statistical-sampling
+    /// mode (or back to exact with `None`). Cached exact reports are
+    /// discarded so a matrix never mixes modes silently.
+    pub fn set_sampling(&mut self, params: Option<SampleParams>) {
+        if self.sampling != params {
+            self.cache.clear();
+        }
+        self.sampling = params;
+    }
+
+    /// The active sampling parameters, if sampling mode is on.
+    pub fn sampling(&self) -> Option<SampleParams> {
+        self.sampling
     }
 
     /// Routes a JSONL trace of every subsequent simulation to `path`
@@ -358,19 +378,56 @@ impl Runner {
         let profiles = &self.profiles;
         let packed = &self.packed;
         let tracing = self.trace.is_some();
+        let sampling = self.sampling;
+        // Longest-job-first dispatch: the worker pool pops jobs from a
+        // shared queue, so the matrix tail is set by whichever job starts
+        // last — dispatch the expensive ones first and the cheap ones
+        // fill the tail. Cost is estimated from the profile's packed
+        // instruction count weighted by the configuration's mode (ESP
+        // pre-executes lookahead events, runahead re-executes stall
+        // windows). Results are scattered back to input order, so the
+        // cache and the trace file are byte-identical to the unsorted
+        // (and to the sequential) execution.
+        let cost = |&(i, key): &(usize, ConfigKey)| -> u64 {
+            let weight = match key.config().mode {
+                SimMode::Esp(_) => 4,
+                SimMode::Runahead { .. } => 3,
+                SimMode::Baseline => 2,
+            };
+            packed[i].approx_total_instructions() * weight
+        };
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by(|&a, &b| cost(&pairs[b]).cmp(&cost(&pairs[a])).then(a.cmp(&b)));
+        let ordered: Vec<(usize, ConfigKey)> = order.iter().map(|&j| pairs[j]).collect();
         let t = Instant::now();
-        let results = esp_par::parallel_map(self.threads, &pairs, |_, &(i, key)| {
+        let ljf_results = esp_par::parallel_map(self.threads, &ordered, |_, &(i, key)| {
             // Replay the shared packed arena — never the regenerative
             // walk (the equivalence suite pins the two bit-identical).
             let workload: &PackedWorkload = &packed[i];
-            if tracing {
-                let mut probe = TraceProbe::new(profiles[i].name(), key.label());
-                let report = Simulator::new(key.config()).run_probed(workload, &mut probe);
-                (report, probe.into_bytes())
-            } else {
-                (Simulator::new(key.config()).run(workload), Vec::new())
+            let sim = Simulator::new(key.config());
+            match (sampling, tracing) {
+                (None, false) => (sim.run(workload), Vec::new()),
+                (None, true) => {
+                    let mut probe = TraceProbe::new(profiles[i].name(), key.label());
+                    let report = sim.run_probed(workload, &mut probe);
+                    (report, probe.into_bytes())
+                }
+                (Some(p), false) => (sim.run_sampled(workload, p).report, Vec::new()),
+                (Some(p), true) => {
+                    let mut probe =
+                        TraceProbe::new(profiles[i].name(), key.label()).with_mode("sampled");
+                    let run = sim.run_sampled_probed(workload, p, &mut probe);
+                    (run.report, probe.into_bytes())
+                }
             }
         });
+        let mut slots: Vec<Option<(RunReport, Vec<u8>)>> = Vec::new();
+        slots.resize_with(pairs.len(), || None);
+        for (j, r) in order.into_iter().zip(ljf_results) {
+            slots[j] = Some(r);
+        }
+        let results: Vec<(RunReport, Vec<u8>)> =
+            slots.into_iter().map(|s| s.expect("every planned pair ran")).collect();
         self.phases.simulate += t.elapsed().as_secs_f64();
         self.sims_run += results.len() as u64;
         let mut write_err = None;

@@ -280,10 +280,36 @@ impl BranchPredictor {
     ///
     /// Panics if `instr` is not a branch.
     pub fn predict_and_update(&mut self, ctx: PredictorContext, instr: &Instr) -> Prediction {
+        let outcome = self.predict_train(ctx, instr);
+        self.stats[ctx.idx()].record(outcome == Prediction::Correct);
+        self.record(BpOp::Predict { ctx, instr: *instr, outcome });
+        outcome
+    }
+
+    /// Functional-warming update: the full predict → train sequence of
+    /// [`Self::predict_and_update`] in the normal context, but with no
+    /// statistics recorded and no op-log entry. The sampling mode's
+    /// fast-forward uses this so the predictor stays trained across
+    /// skipped grains while per-grain measurements remain unpolluted.
+    /// Returns what the prediction outcome would have been, so callers
+    /// can keep auxiliary event counts for extrapolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr` is not a branch.
+    #[inline]
+    pub fn warm_update(&mut self, instr: &Instr) -> Prediction {
+        self.predict_train(PredictorContext::Normal, instr)
+    }
+
+    /// The shared predict → compare → train body: every table, PIR, and
+    /// RAS mutation of a retiring branch, with the outcome classification
+    /// returned and *no* statistics or op-log side effects.
+    fn predict_train(&mut self, ctx: PredictorContext, instr: &Instr) -> Prediction {
         let pir_slot = self.pir_slot(ctx);
         let table_slot = self.table_of[ctx.idx()];
         let pc = instr.pc;
-        let outcome = match instr.kind {
+        match instr.kind {
             InstrKind::CondBranch { taken, target } => {
                 let pir = self.pirs[pir_slot];
                 let t = &mut self.tables[table_slot];
@@ -349,10 +375,7 @@ impl BranchPredictor {
                 }
             }
             _ => panic!("predict_and_update called on a non-branch: {instr:?}"),
-        };
-        self.stats[ctx.idx()].record(outcome == Prediction::Correct);
-        self.record(BpOp::Predict { ctx, instr: *instr, outcome });
-        outcome
+        }
     }
 
     /// Trains the normal-mode tables with a future branch outcome replayed
@@ -689,6 +712,45 @@ mod tests {
         let b = Instr::cond_branch(Addr::new(0x100), true, Addr::new(0x40));
         p.predict_and_update(PredictorContext::Normal, &b);
         assert!(p.take_ops().is_empty());
+    }
+
+    #[test]
+    fn warm_update_trains_without_stats_or_ops() {
+        let mut p = bp(ContextPolicy::SeparatePir);
+        p.set_recording(true);
+        let b = Instr::cond_branch(Addr::new(0x100), true, Addr::new(0x40));
+        for _ in 0..4 {
+            p.warm_update(&b);
+        }
+        assert_eq!(p.stats(PredictorContext::Normal).total(), 0);
+        assert!(p.take_ops().is_empty());
+        // Warm training is real training: the next prediction hits.
+        assert!(p.predict_and_update(PredictorContext::Normal, &b).is_correct());
+    }
+
+    #[test]
+    fn warm_update_matches_detailed_training() {
+        // A predictor warmed on a branch sequence must end in the same
+        // table state as one trained by detailed execution.
+        let seq = [
+            Instr::call(Addr::new(0x100), Addr::new(0x8000)),
+            Instr::cond_branch(Addr::new(0x8000), true, Addr::new(0x8040)),
+            Instr::indirect(Addr::new(0x8044), Addr::new(0x9000)),
+            Instr::ret(Addr::new(0x9010), Addr::new(0x104)),
+        ];
+        let mut warm = bp(ContextPolicy::SeparatePir);
+        let mut detailed = bp(ContextPolicy::SeparatePir);
+        for b in &seq {
+            warm.warm_update(b);
+            detailed.predict_and_update(PredictorContext::Normal, b);
+        }
+        // Same subsequent predictions prove identical trained state.
+        for b in &seq {
+            assert_eq!(
+                warm.predict_and_update(PredictorContext::Normal, b),
+                detailed.predict_and_update(PredictorContext::Normal, b)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Sampled-vs-exact cross-validation oracle.
+//!
+//! The sampling engine (`esp_core::Simulator::run_sampled`) trades
+//! exactness for speed; this module is the harness that keeps that trade
+//! honest. [`check_sampled`] runs one simulation point twice — once
+//! exact, once sampled — and verifies three things:
+//!
+//! 1. **Estimate accuracy.** The sampled busy-CPI must land within a
+//!    caller-chosen relative tolerance of the exact run's.
+//! 2. **Exact bookkeeping.** Quantities the sampled run tracks exactly
+//!    rather than estimating — retired instructions and events run —
+//!    must *equal* the exact run's, not merely approximate them.
+//! 3. **Plausible uncertainty.** The reported 95 % confidence interval
+//!    must be finite and the estimator must not have silently fallen
+//!    back to exact mode (which would make the comparison vacuous).
+//!
+//! [`check_sampled_matrix`] sweeps the check over a profile × config
+//! matrix and reports every violation, mirroring how the differential
+//! oracle is applied across the benchmark suite.
+
+use esp_core::{SampleParams, SimConfig, Simulator};
+use esp_trace::Workload;
+
+/// What [`check_sampled`] measured, for reporting.
+#[derive(Clone, Debug)]
+pub struct SampledCheck {
+    /// Exact busy-CPI (busy cycles / retired).
+    pub exact_cpi: f64,
+    /// Sampled busy-CPI estimate.
+    pub sampled_cpi: f64,
+    /// Signed relative error of the sampled CPI, in percent.
+    pub cpi_error_pct: f64,
+    /// The estimator's own relative 95 % confidence half-width, percent.
+    pub ci95_pct: f64,
+    /// Measured grains the estimate is built from.
+    pub grains_measured: u64,
+}
+
+/// Runs `workload` under `config` exactly and sampled, and checks the
+/// sampled estimate against the exact ground truth.
+///
+/// `tolerance_pct` bounds the absolute relative CPI error. Choose it
+/// from the operating point's measured error envelope (see
+/// `docs/PERFORMANCE.md`), not from hope: the check is deterministic for
+/// a fixed workload/seed/params, so a passing tolerance stays passing.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated check.
+pub fn check_sampled(
+    config: &SimConfig,
+    workload: &dyn Workload,
+    params: SampleParams,
+    tolerance_pct: f64,
+) -> Result<SampledCheck, String> {
+    let sim = Simulator::new(config.clone());
+    let exact = sim.run(workload);
+    let sampled = sim.run_sampled(workload, params);
+
+    if sampled.estimate.exact_fallback {
+        return Err(format!(
+            "sampled run fell back to exact mode (workload too small for grain {} × period {}); \
+             the comparison is vacuous",
+            params.grain_instrs, params.period
+        ));
+    }
+    if sampled.report.engine.retired != exact.engine.retired {
+        return Err(format!(
+            "sampled retired count {} != exact {} — warming lost instructions",
+            sampled.report.engine.retired, exact.engine.retired
+        ));
+    }
+    if sampled.report.events_run != exact.events_run {
+        return Err(format!(
+            "sampled events_run {} != exact {}",
+            sampled.report.events_run, exact.events_run
+        ));
+    }
+
+    let exact_cpi = exact.busy_cycles() as f64 / exact.engine.retired as f64;
+    let sampled_cpi = sampled.report.busy_cycles() as f64 / sampled.report.engine.retired as f64;
+    let cpi_error_pct = 100.0 * (sampled_cpi - exact_cpi) / exact_cpi;
+    let ci95_pct = sampled.estimate.cpi.rel_ci95_pct();
+
+    if !ci95_pct.is_finite() {
+        return Err(format!(
+            "confidence interval is not finite ({ci95_pct}) with {} measured grains",
+            sampled.estimate.grains_measured
+        ));
+    }
+    if cpi_error_pct.abs() > tolerance_pct {
+        return Err(format!(
+            "sampled CPI {sampled_cpi:.4} vs exact {exact_cpi:.4}: error {cpi_error_pct:+.2}% \
+             exceeds tolerance {tolerance_pct}% (ci95 {ci95_pct:.2}%, n={})",
+            sampled.estimate.grains_measured
+        ));
+    }
+
+    Ok(SampledCheck {
+        exact_cpi,
+        sampled_cpi,
+        cpi_error_pct,
+        ci95_pct,
+        grains_measured: sampled.estimate.grains_measured,
+    })
+}
+
+/// Applies [`check_sampled`] to every (workload, label) × config cell
+/// and collects all violations instead of stopping at the first.
+///
+/// Returns per-cell results on success.
+///
+/// # Errors
+///
+/// Returns the concatenated descriptions of every failing cell.
+pub fn check_sampled_matrix(
+    cells: &[(&dyn Workload, &str, SimConfig)],
+    params: SampleParams,
+    tolerance_pct: f64,
+) -> Result<Vec<(String, SampledCheck)>, String> {
+    let mut ok = Vec::new();
+    let mut failures = Vec::new();
+    for (workload, label, config) in cells {
+        match check_sampled(config, *workload, params, tolerance_pct) {
+            Ok(c) => ok.push(((*label).to_string(), c)),
+            Err(e) => failures.push(format!("{label}: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        Ok(ok)
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_workload::BenchmarkProfile;
+
+    #[test]
+    fn sampled_check_passes_at_the_default_operating_point() {
+        let w = BenchmarkProfile::amazon().scaled(600_000).build(42);
+        let c = check_sampled(&SimConfig::esp_nl(), &w, SampleParams::default(), 8.0)
+            .expect("sampled check must pass");
+        assert!(c.grains_measured >= 10);
+        assert!(c.ci95_pct > 0.0);
+    }
+
+    #[test]
+    fn tiny_workload_is_rejected_as_vacuous() {
+        let w = BenchmarkProfile::amazon().scaled(2_000).build(42);
+        let err = check_sampled(&SimConfig::base(), &w, SampleParams::default(), 50.0)
+            .expect_err("fallback must be reported");
+        assert!(err.contains("vacuous"));
+    }
+}

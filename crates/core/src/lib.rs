@@ -45,6 +45,7 @@ mod esp_state;
 mod lineset;
 mod replay;
 mod report;
+mod sampling;
 mod simulator;
 mod working_set;
 
@@ -54,5 +55,6 @@ pub use esp_state::EspRunStats;
 pub use lineset::LineSet;
 pub use replay::{ReplayLists, ReplayStats};
 pub use report::RunReport;
+pub use sampling::{SampleParams, SampledRun, SamplingEstimate};
 pub use simulator::{SideEffectLog, Simulator};
 pub use working_set::{percentile, WorkingSetReport};

@@ -1,0 +1,870 @@
+//! SMARTS-style systematic sampling: detailed grains + functional warming.
+//!
+//! [`Simulator::run_sampled`] splits a run into fixed-size instruction
+//! *grains* and simulates only a periodic sample of them in full detail.
+//! With period `P`, grain `g` is:
+//!
+//! * `g % P == 0` — **detailed warmup**: simulated in full detail but not
+//!   measured, absorbing the cold-start ("non-sampling") bias left by the
+//!   preceding functional warming;
+//! * `g % P == 1` — **measured**: simulated in full detail; its
+//!   per-instruction cycle deltas become one sample of the estimator;
+//! * otherwise — **functional warming**: a fast-forward that performs every
+//!   architectural-state update of detailed execution (cache tags and LRU,
+//!   prefetcher training, branch-predictor tables/PIR/RAS, ESP context
+//!   rotation) while charging no stall cycles and touching no statistics,
+//!   via the warm entry points of `esp-uarch`/`esp-mem`/`esp-branch`.
+//!
+//! Grains are instruction-aligned, not event-aligned: a grain boundary can
+//! fall mid-event, and the per-event loop switches between detailed
+//! stepping and warming at that exact instruction. Every measured grain is
+//! therefore preceded by one full grain of detailed warmup, regardless of
+//! how event lengths compare to the grain size.
+//!
+//! Whole-run counters are then extrapolated from the measured grains by
+//! the combined ratio estimator of `esp-stats`, with a per-metric standard
+//! error and 95% confidence half-width reported alongside the
+//! [`RunReport`]. The default exact mode shares none of this code path:
+//! `Simulator::run` is untouched and stays byte-identical.
+//!
+//! See `docs/PERFORMANCE.md` ("Sampling") for the estimator derivation,
+//! warming rules, and measured error tables.
+
+use crate::config::SimMode;
+use crate::esp_state::{EspRunStats, EspState};
+use crate::lineset::LineSet;
+use crate::replay::{ReplayLists, ReplayState, ReplayStats};
+use crate::report::RunReport;
+use crate::simulator::Simulator;
+use esp_energy::{ActivityCounts, EnergyModel};
+use esp_obs::{
+    CpiStack, CycleClass, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender,
+};
+use esp_stats::{ratio_estimate, RatioEstimate};
+use esp_trace::{ForkStream, Workload};
+use esp_uarch::{Engine, StallKind};
+
+/// Sampling-mode parameters: grain size and sampling period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleParams {
+    /// Instructions per grain.
+    pub grain_instrs: u64,
+    /// Sampling period in grains: out of every `period` grains, one is
+    /// detailed warmup, one is measured, and `period - 2` are
+    /// functionally warmed. Must be at least 3.
+    pub period: u64,
+}
+
+impl Default for SampleParams {
+    fn default() -> Self {
+        SampleParams { grain_instrs: 2_000, period: 20 }
+    }
+}
+
+impl SampleParams {
+    /// Builds parameters, validating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain_instrs` is 0 or `period < 3` (a period below 3
+    /// has no warming grains — use exact mode instead).
+    pub fn new(grain_instrs: u64, period: u64) -> Self {
+        assert!(grain_instrs > 0, "grain_instrs must be positive");
+        assert!(period >= 3, "period must be >= 3 (warmup + measured + warming)");
+        SampleParams { grain_instrs, period }
+    }
+}
+
+/// Accuracy metadata of one sampled run: grain counts and per-metric
+/// ratio estimates with confidence intervals.
+#[derive(Clone, Debug, Default)]
+pub struct SamplingEstimate {
+    /// Grains the run was split into.
+    pub grains_total: u64,
+    /// Grains simulated in detail *and* measured.
+    pub grains_measured: u64,
+    /// Instructions retired inside measured grains.
+    pub measured_instrs: u64,
+    /// Instructions retired over the whole run (exact — warming counts
+    /// retirement precisely).
+    pub total_instrs: u64,
+    /// Busy cycles per instruction, with standard error and 95% CI.
+    pub cpi: RatioEstimate,
+    /// Exposed instruction-fetch stall cycles per instruction.
+    pub icache_cpi: RatioEstimate,
+    /// Exposed data stall cycles per instruction.
+    pub dcache_cpi: RatioEstimate,
+    /// Branch penalty cycles per instruction.
+    pub branch_cpi: RatioEstimate,
+    /// True when the workload was too small to sample and the run fell
+    /// back to exact simulation (the report is then exact, error 0).
+    pub exact_fallback: bool,
+}
+
+/// A sampled run: the extrapolated report plus its error estimate.
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// The extrapolated whole-run report. `total_cycles` carries the
+    /// estimated *busy* cycles (idle is not extrapolated: the sampled
+    /// clock is approximate between samples, and every figure of merit
+    /// uses [`RunReport::busy_cycles`]).
+    pub report: RunReport,
+    /// Grain counts and confidence intervals.
+    pub estimate: SamplingEstimate,
+}
+
+/// What a grain's position in the period means for execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GrainKind {
+    /// Detailed, unmeasured: absorbs warming bias before a measurement.
+    DetailedWarmup,
+    /// Detailed and measured.
+    Measured,
+    /// Functionally warmed.
+    Warm,
+}
+
+fn kind_of(grain_idx: u64, period: u64) -> GrainKind {
+    match grain_idx % period {
+        0 => GrainKind::DetailedWarmup,
+        1 => GrainKind::Measured,
+        _ => GrainKind::Warm,
+    }
+}
+
+/// One measured grain's per-cycle-class deltas.
+#[derive(Clone, Copy, Debug, Default)]
+struct GrainSample {
+    instrs: u64,
+    busy: u64,
+    icache: u64,
+    dcache: u64,
+    br_mis: u64,
+    br_fetch: u64,
+}
+
+/// Snapshot of everything a measured grain's delta is computed from.
+struct MeasureSnapshot {
+    stack: CpiStack,
+    engine: esp_uarch::EngineStats,
+    replay: ReplayStats,
+    esp: Option<EspRunStats>,
+}
+
+/// Measured-grain totals for every extrapolated counter.
+#[derive(Default)]
+struct MeasuredTotals {
+    stack: CpiStack,
+    engine: esp_uarch::EngineStats,
+    replay: ReplayStats,
+    esp: EspRunStats,
+}
+
+fn add_stack(into: &mut CpiStack, d: &CpiStack) {
+    into.base += d.base;
+    into.icache_l2 += d.icache_l2;
+    into.icache_llc += d.icache_llc;
+    into.dcache_l2 += d.dcache_l2;
+    into.dcache_llc += d.dcache_llc;
+    into.branch_mispredict += d.branch_mispredict;
+    into.branch_misfetch += d.branch_misfetch;
+    into.idle += d.idle;
+    into.pre_exec_overlap += d.pre_exec_overlap;
+}
+
+fn add_engine(
+    into: &mut esp_uarch::EngineStats,
+    a: &esp_uarch::EngineStats,
+    b: &esp_uarch::EngineStats,
+) {
+    into.retired += a.retired - b.retired;
+    into.l1i_accesses += a.l1i_accesses - b.l1i_accesses;
+    into.l1i_misses += a.l1i_misses - b.l1i_misses;
+    into.l1d_accesses += a.l1d_accesses - b.l1d_accesses;
+    into.l1d_misses += a.l1d_misses - b.l1d_misses;
+    into.branches += a.branches - b.branches;
+    into.mispredicts += a.mispredicts - b.mispredicts;
+    into.misfetches += a.misfetches - b.misfetches;
+    into.runahead_instrs += a.runahead_instrs - b.runahead_instrs;
+}
+
+fn add_replay(into: &mut ReplayStats, a: &ReplayStats, b: &ReplayStats) {
+    into.iprefetches += a.iprefetches - b.iprefetches;
+    into.dprefetches += a.dprefetches - b.dprefetches;
+    into.btrains += a.btrains - b.btrains;
+}
+
+fn add_esp(into: &mut EspRunStats, a: &EspRunStats, b: &EspRunStats) {
+    into.windows += a.windows - b.windows;
+    into.wasted_window_cycles += a.wasted_window_cycles - b.wasted_window_cycles;
+    into.events_started += a.events_started - b.events_started;
+    into.lists_discarded += a.lists_discarded - b.lists_discarded;
+    into.blocked_switches += a.blocked_switches - b.blocked_switches;
+    if into.instrs_by_depth.len() < a.instrs_by_depth.len() {
+        into.instrs_by_depth.resize(a.instrs_by_depth.len(), 0);
+    }
+    for (i, v) in a.instrs_by_depth.iter().enumerate() {
+        into.instrs_by_depth[i] += v - b.instrs_by_depth.get(i).copied().unwrap_or(0);
+    }
+}
+
+/// Integer extrapolation `x * total / measured` without overflow.
+fn scaled(x: u64, total: u64, measured: u64) -> u64 {
+    if measured == 0 {
+        return 0;
+    }
+    (x as u128 * total as u128 / measured as u128) as u64
+}
+
+/// The grain clock: tracks where the run is in the sampling schedule,
+/// collects measured-grain samples, and drives the coarse warm clock.
+struct SampleCtl {
+    grain_instrs: u64,
+    period: u64,
+    grain_idx: u64,
+    grain_acc: u64,
+    open: Option<MeasureSnapshot>,
+    samples: Vec<GrainSample>,
+    totals: MeasuredTotals,
+    measured_busy: u64,
+    measured_instrs: u64,
+    /// Warmed instructions not yet converted into a clock advance.
+    warm_pending: u64,
+    /// Sub-cycle residue of the warm clock, in milli-cycles.
+    warm_millis: u64,
+}
+
+impl SampleCtl {
+    fn new(params: SampleParams) -> Self {
+        SampleCtl {
+            grain_instrs: params.grain_instrs,
+            period: params.period,
+            grain_idx: 0,
+            grain_acc: 0,
+            open: None,
+            samples: Vec::new(),
+            totals: MeasuredTotals::default(),
+            measured_busy: 0,
+            measured_instrs: 0,
+            warm_pending: 0,
+            warm_millis: 0,
+        }
+    }
+
+    fn kind(&self) -> GrainKind {
+        kind_of(self.grain_idx, self.period)
+    }
+
+    /// Notes one functionally-warmed instruction (clock advance deferred
+    /// to the next [`SampleCtl::flush_warm`]).
+    fn warm_instr(&mut self) {
+        self.warm_pending += 1;
+    }
+
+    /// Instructions left in the current grain.
+    fn until_boundary(&self) -> u64 {
+        self.grain_instrs - self.grain_acc
+    }
+
+    /// Advances the grain clock by `n` functionally-warmed instructions
+    /// in one step. `n` must not overshoot the grain boundary (callers
+    /// bound their warm walks by [`SampleCtl::until_boundary`]).
+    fn warm_bulk(
+        &mut self,
+        n: u64,
+        engine: &mut Engine,
+        replay: &ReplayState,
+        esp: &Option<EspState<'_>>,
+    ) {
+        debug_assert!(n <= self.until_boundary());
+        self.warm_pending += n;
+        self.grain_acc += n;
+        if self.grain_acc >= self.grain_instrs {
+            self.grain_acc = 0;
+            self.cross_boundary(engine, replay, esp);
+        }
+    }
+
+    /// Advances the grain clock by one retired instruction and performs
+    /// the kind transition when a grain boundary is crossed.
+    fn after_instr(
+        &mut self,
+        engine: &mut Engine,
+        replay: &ReplayState,
+        esp: &Option<EspState<'_>>,
+    ) {
+        self.grain_acc += 1;
+        if self.grain_acc < self.grain_instrs {
+            return;
+        }
+        self.grain_acc = 0;
+        self.cross_boundary(engine, replay, esp);
+    }
+
+    /// The grain-boundary transition: flushes/closes the grain that just
+    /// ended and opens a measurement snapshot when one begins.
+    fn cross_boundary(
+        &mut self,
+        engine: &mut Engine,
+        replay: &ReplayState,
+        esp: &Option<EspState<'_>>,
+    ) {
+        let old = self.kind();
+        self.grain_idx += 1;
+        let new = self.kind();
+        if old == new {
+            return;
+        }
+        if old == GrainKind::Warm {
+            self.flush_warm(engine);
+        }
+        if old == GrainKind::Measured {
+            self.close_sample(engine, replay, esp);
+        }
+        if new == GrainKind::Measured {
+            self.open = Some(MeasureSnapshot {
+                stack: *engine.cpi_stack(),
+                engine: *engine.stats(),
+                replay: replay.stats(),
+                esp: esp.as_ref().map(|e| e.stats().clone()),
+            });
+        }
+    }
+
+    /// Converts pending warmed instructions into a coarse clock advance
+    /// at the cumulative measured busy-CPI, charged as idle so the
+    /// stack's conservation invariant (`total() == now()`) holds.
+    fn flush_warm(&mut self, engine: &mut Engine) {
+        if self.warm_pending == 0 {
+            return;
+        }
+        let cpi_millis = self
+            .measured_busy
+            .saturating_mul(1000)
+            .checked_div(self.measured_instrs)
+            .unwrap_or(1000);
+        self.warm_millis += self.warm_pending * cpi_millis;
+        self.warm_pending = 0;
+        engine.warm_advance(self.warm_millis / 1000);
+        self.warm_millis %= 1000;
+    }
+
+    fn close_sample(
+        &mut self,
+        engine: &Engine,
+        replay: &ReplayState,
+        esp: &Option<EspState<'_>>,
+    ) {
+        let Some(snap) = self.open.take() else { return };
+        let d_stack = engine.cpi_stack().since(&snap.stack);
+        let instrs = engine.stats().retired - snap.engine.retired;
+        let busy = d_stack.total() - d_stack.idle;
+        self.samples.push(GrainSample {
+            instrs,
+            busy,
+            icache: d_stack.icache_l2 + d_stack.icache_llc,
+            dcache: d_stack.dcache_l2 + d_stack.dcache_llc,
+            br_mis: d_stack.branch_mispredict,
+            br_fetch: d_stack.branch_misfetch,
+        });
+        add_stack(&mut self.totals.stack, &d_stack);
+        add_engine(&mut self.totals.engine, engine.stats(), &snap.engine);
+        add_replay(&mut self.totals.replay, &replay.stats(), &snap.replay);
+        if let (Some(esp), Some(before)) = (esp.as_ref(), snap.esp.as_ref()) {
+            add_esp(&mut self.totals.esp, esp.stats(), before);
+        }
+        self.measured_busy += busy;
+        self.measured_instrs += instrs;
+    }
+
+    /// Closes any trailing open sample and flushes the warm clock.
+    fn finish(&mut self, engine: &mut Engine, replay: &ReplayState, esp: &Option<EspState<'_>>) {
+        self.flush_warm(engine);
+        self.close_sample(engine, replay, esp);
+    }
+}
+
+impl Simulator {
+    /// Runs the workload in sampling mode: detailed simulation of a
+    /// periodic sample of instruction grains, functional warming in
+    /// between, and a whole-run report extrapolated from the measured
+    /// grains (see the module docs). Falls back to exact simulation for
+    /// workloads too small to hold two sampling periods.
+    pub fn run_sampled(&self, workload: &dyn Workload, params: SampleParams) -> SampledRun {
+        self.run_sampled_probed(workload, params, &mut NullProbe)
+    }
+
+    /// [`Simulator::run_sampled`] with an observability probe. The probe
+    /// sees the detailed grains only — stall charges, windows, and one
+    /// [`EventSpan`] per event — plus a final [`RunSummary`] carrying the
+    /// extrapolated totals.
+    pub fn run_sampled_probed<P: Probe>(
+        &self,
+        workload: &dyn Workload,
+        params: SampleParams,
+        probe: &mut P,
+    ) -> SampledRun {
+        assert!(params.grain_instrs > 0, "grain_instrs must be positive");
+        assert!(params.period >= 3, "period must be >= 3");
+        let events = workload.events();
+        let n_looper = self.config().looper_instrs as u64;
+        let approx_total =
+            workload.approx_total_instructions() + n_looper * events.len() as u64;
+        let grains_total = approx_total.div_ceil(params.grain_instrs.max(1));
+        if grains_total < params.period * 2 {
+            // Too small for two periods: sampling would measure nearly
+            // everything anyway. Run exact and report zero error.
+            let report = self.run_probed(workload, probe);
+            let instrs = report.engine.retired;
+            let stack = report.cpi_stack;
+            let one = |y: u64| ratio_estimate(&[(instrs, y)]);
+            let estimate = SamplingEstimate {
+                grains_total,
+                grains_measured: grains_total,
+                measured_instrs: instrs,
+                total_instrs: instrs,
+                cpi: one(report.busy_cycles()),
+                icache_cpi: one(stack.icache_l2 + stack.icache_llc),
+                dcache_cpi: one(stack.dcache_l2 + stack.dcache_llc),
+                branch_cpi: one(stack.branch_mispredict + stack.branch_misfetch),
+                exact_fallback: true,
+            };
+            return SampledRun { report, estimate };
+        }
+        self.run_sampled_inner(workload, params, probe)
+    }
+
+    fn run_sampled_inner<P: Probe>(
+        &self,
+        workload: &dyn Workload,
+        params: SampleParams,
+        probe: &mut P,
+    ) -> SampledRun {
+        let mut engine = Engine::new(self.config().engine.clone());
+        let mut esp: Option<EspState<'_>> = match &self.config().mode {
+            SimMode::Esp(f) => Some(EspState::new(*f, workload)),
+            _ => None,
+        };
+        let measure_ws = self
+            .config()
+            .esp_features()
+            .is_some_and(|f| f.measure_working_sets);
+        let ideal = self.config().esp_features().is_some_and(|f| f.ideal);
+        let mut replay = ReplayState::default();
+        if let Some(f) = self.config().esp_features() {
+            replay.set_leads(f.prefetch_lead_instrs, f.bp_train_lead_branches);
+        }
+        let mut pending_lists: Option<ReplayLists> = None;
+        let events = workload.events();
+        let line_bytes = self.config().engine.machine.hierarchy.l1i.line_bytes;
+        let n_looper = self.config().looper_instrs as u64;
+        let mut iws = LineSet::new();
+        let mut dws = LineSet::new();
+        let mut ctl = SampleCtl::new(params);
+
+        for (idx, record) in events.iter().enumerate() {
+            let span_start = engine.now();
+            let stack_before = *engine.cpi_stack();
+            let retired_before = engine.stats().retired;
+            let mut span_windows = 0u64;
+
+            engine.idle_until(record.post_time);
+
+            // Pending prediction lists: armed for timed replay when the
+            // event opens in a detailed grain, applied as instant warm
+            // state otherwise.
+            if ctl.kind() == GrainKind::Warm {
+                if let Some(lists) = pending_lists.take() {
+                    Self::warm_apply_lists(&mut engine, &lists);
+                }
+                replay.arm(None, ideal, &mut engine);
+            } else {
+                replay.arm(pending_lists.take(), ideal, &mut engine);
+            }
+
+            for i in 0..n_looper {
+                let instr = Self::looper_instr(idx, i);
+                if ctl.kind() == GrainKind::Warm {
+                    engine.warm_step(&instr);
+                    ctl.warm_instr();
+                } else {
+                    replay.tick(&mut engine, 0, 0);
+                    engine.step_probed(&instr, probe);
+                }
+                ctl.after_instr(&mut engine, &replay, &esp);
+            }
+
+            span_windows += match workload.as_packed() {
+                Some(packed) => {
+                    let mut stream =
+                        packed.arena().event(record.id.index() as usize).actual_cursor();
+                    self.run_event_sampled(
+                        &mut stream,
+                        idx,
+                        &mut engine,
+                        &mut esp,
+                        &mut replay,
+                        probe,
+                        &mut ctl,
+                        measure_ws,
+                        line_bytes,
+                        &mut iws,
+                        &mut dws,
+                    )
+                }
+                None => {
+                    let mut stream = workload.actual_stream(record.id);
+                    self.run_event_sampled(
+                        &mut stream,
+                        idx,
+                        &mut engine,
+                        &mut esp,
+                        &mut replay,
+                        probe,
+                        &mut ctl,
+                        measure_ws,
+                        line_bytes,
+                        &mut iws,
+                        &mut dws,
+                    )
+                }
+            };
+
+            if let Some(esp) = esp.as_mut() {
+                if measure_ws {
+                    esp.record_normal_working_set(iws.len(), dws.len());
+                }
+                pending_lists = esp.on_event_complete(idx + 1);
+                engine.bp_mut().promote_event();
+            }
+            // Keep the coarse clock caught up before the next event's
+            // post-time idling.
+            ctl.flush_warm(&mut engine);
+
+            probe.on_event(&EventSpan {
+                idx: idx as u64,
+                start: span_start,
+                end: engine.now(),
+                retired: engine.stats().retired - retired_before,
+                windows: span_windows,
+                stack: engine.cpi_stack().since(&stack_before),
+            });
+        }
+        ctl.finish(&mut engine, &replay, &esp);
+
+        let total_instrs = engine.stats().retired;
+        let measured_instrs = ctl.measured_instrs;
+        let report = self.extrapolate_report(
+            esp,
+            &ctl.totals,
+            total_instrs,
+            measured_instrs,
+            events.len() as u64,
+            measure_ws,
+        );
+        let samples = &ctl.samples;
+        let estimate = SamplingEstimate {
+            grains_total: ctl.grain_idx + 1,
+            grains_measured: samples.len() as u64,
+            measured_instrs,
+            total_instrs,
+            cpi: ratio_estimate(
+                &samples.iter().map(|s| (s.instrs, s.busy)).collect::<Vec<_>>(),
+            ),
+            icache_cpi: ratio_estimate(
+                &samples.iter().map(|s| (s.instrs, s.icache)).collect::<Vec<_>>(),
+            ),
+            dcache_cpi: ratio_estimate(
+                &samples.iter().map(|s| (s.instrs, s.dcache)).collect::<Vec<_>>(),
+            ),
+            branch_cpi: ratio_estimate(
+                &samples
+                    .iter()
+                    .map(|s| (s.instrs, s.br_mis + s.br_fetch))
+                    .collect::<Vec<_>>(),
+            ),
+            exact_fallback: false,
+        };
+        let mem_snap = engine.mem().snapshot();
+        let (esp_branches, esp_mispredicts) = {
+            let b1 = engine.bp().stats(esp_branch::PredictorContext::Esp1);
+            let b2 = engine.bp().stats(esp_branch::PredictorContext::Esp2);
+            (b1.total() + b2.total(), b1.mispredicted + b2.mispredicted)
+        };
+        probe.on_run(&RunSummary {
+            total_cycles: report.total_cycles,
+            events: report.events_run,
+            retired: report.engine.retired,
+            stack: report.cpi_stack,
+            l1i: mem_snap.l1i,
+            l1d: mem_snap.l1d,
+            l2: mem_snap.l2,
+            branches: report.engine.branches,
+            mispredicts: report.engine.mispredicts,
+            esp_branches,
+            esp_mispredicts,
+        });
+        SampledRun { report, estimate }
+    }
+
+    /// The per-instruction loop of one event under the grain clock: the
+    /// exact-mode loop body in detailed grains, warm stepping in warming
+    /// grains, switching at grain boundaries mid-stream.
+    #[allow(clippy::too_many_arguments)]
+    fn run_event_sampled<P: Probe, S: ForkStream>(
+        &self,
+        stream: &mut S,
+        idx: usize,
+        engine: &mut Engine,
+        esp: &mut Option<EspState<'_>>,
+        replay: &mut ReplayState,
+        probe: &mut P,
+        ctl: &mut SampleCtl,
+        measure: bool,
+        line_bytes: u64,
+        iws: &mut LineSet,
+        dws: &mut LineSet,
+    ) -> u64 {
+        let mut span_windows = 0u64;
+        let mut branches = 0u64;
+        iws.clear();
+        dws.clear();
+        loop {
+            if ctl.kind() == GrainKind::Warm {
+                // Fast-forward in bulk, straight off the packed arrays,
+                // up to the next grain boundary or end of event.
+                let want = ctl.until_boundary();
+                let walked = stream.warm_region(want, line_bytes, engine);
+                engine.warm_retire(walked);
+                ctl.warm_bulk(walked, engine, replay, esp);
+                if walked < want {
+                    break;
+                }
+                continue;
+            }
+            replay.tick(engine, stream.executed(), branches);
+            let Some(instr) = stream.next_instr() else {
+                break;
+            };
+            if measure {
+                iws.insert(instr.pc.line(line_bytes).as_u64());
+                if let Some(a) = instr.mem_addr() {
+                    dws.insert(a.line(line_bytes).as_u64());
+                }
+            }
+            let out = engine.step_probed(&instr, probe);
+            if instr.is_branch() {
+                branches += 1;
+            }
+            if let Some(stall) = out.stall {
+                match &self.config().mode {
+                    SimMode::Baseline => {}
+                    SimMode::Runahead { data_only } => {
+                        if stall.kind == StallKind::DataLlcMiss {
+                            span_windows += 1;
+                            let ra = engine.run_runahead_cursor(
+                                stream.fork_stream(),
+                                stall.start,
+                                stall.cycles,
+                                *data_only,
+                            );
+                            probe.on_window(&WindowRecord {
+                                at: stall.start,
+                                stall_class: CycleClass::DcacheLlc,
+                                offered_cycles: stall.cycles,
+                                utilized_cycles: ra.utilized_cycles,
+                                instrs: ra.instrs,
+                                spender: WindowSpender::Runahead,
+                            });
+                        }
+                    }
+                    SimMode::Esp(_) => {
+                        let esp = esp.as_mut().expect("ESP mode without ESP state");
+                        span_windows += 1;
+                        esp.spend_window_probed(engine, stall, idx, probe);
+                    }
+                }
+            }
+            ctl.after_instr(engine, replay, esp);
+        }
+        span_windows
+    }
+
+    /// Replays pending prediction lists into warmed state: every listed
+    /// line becomes an instant stat-free fill, every replayable branch a
+    /// predictor training — what the timed replay of a detailed event
+    /// would eventually have installed.
+    fn warm_apply_lists(engine: &mut Engine, lists: &ReplayLists) {
+        let now = engine.now();
+        for rec in &lists.ilist {
+            for line in rec.lines() {
+                engine.mem_mut().warm_prefetch_instr(line, now);
+            }
+        }
+        for rec in &lists.dlist {
+            for line in rec.lines() {
+                engine.mem_mut().warm_prefetch_data(line, now);
+            }
+        }
+        engine.bp_mut().begin_replay();
+        for rec in &lists.blist {
+            if let Some(instr) = rec.to_instr() {
+                engine.bp_mut().train_ahead(&instr);
+            }
+        }
+    }
+
+    /// Assembles the extrapolated whole-run report: every measured-grain
+    /// counter is scaled by `total_instrs / measured_instrs` — the
+    /// combined ratio estimator, unbiased under systematic sampling.
+    /// Retirement is exact (warming counts it precisely).
+    fn extrapolate_report(
+        &self,
+        esp: Option<EspState<'_>>,
+        totals: &MeasuredTotals,
+        total_instrs: u64,
+        measured_instrs: u64,
+        events_run: u64,
+        measure_ws: bool,
+    ) -> RunReport {
+        let s = |x: u64| scaled(x, total_instrs, measured_instrs);
+        let stack = CpiStack {
+            base: s(totals.stack.base),
+            icache_l2: s(totals.stack.icache_l2),
+            icache_llc: s(totals.stack.icache_llc),
+            dcache_l2: s(totals.stack.dcache_l2),
+            dcache_llc: s(totals.stack.dcache_llc),
+            branch_mispredict: s(totals.stack.branch_mispredict),
+            branch_misfetch: s(totals.stack.branch_misfetch),
+            // Idle is not extrapolated: the inter-sample clock is
+            // approximate, and busy cycles are the figure of merit.
+            idle: 0,
+            pre_exec_overlap: s(totals.stack.pre_exec_overlap),
+        };
+        let engine_stats = esp_uarch::EngineStats {
+            retired: total_instrs,
+            l1i_accesses: s(totals.engine.l1i_accesses),
+            l1i_misses: s(totals.engine.l1i_misses),
+            l1d_accesses: s(totals.engine.l1d_accesses),
+            l1d_misses: s(totals.engine.l1d_misses),
+            branches: s(totals.engine.branches),
+            mispredicts: s(totals.engine.mispredicts),
+            misfetches: s(totals.engine.misfetches),
+            runahead_instrs: s(totals.engine.runahead_instrs),
+        };
+        let esp_stats = EspRunStats {
+            windows: s(totals.esp.windows),
+            wasted_window_cycles: s(totals.esp.wasted_window_cycles),
+            instrs_by_depth: totals.esp.instrs_by_depth.iter().map(|&v| s(v)).collect(),
+            events_started: s(totals.esp.events_started),
+            lists_discarded: s(totals.esp.lists_discarded),
+            blocked_switches: s(totals.esp.blocked_switches),
+        };
+        let replay_stats = ReplayStats {
+            iprefetches: s(totals.replay.iprefetches),
+            dprefetches: s(totals.replay.dprefetches),
+            btrains: s(totals.replay.btrains),
+        };
+        let mut report = RunReport {
+            total_cycles: stack.total(),
+            breakdown: esp_uarch::CycleBreakdown::from_stack(&stack),
+            cpi_stack: stack,
+            engine: engine_stats,
+            esp: esp_stats,
+            replay: replay_stats,
+            events_run,
+            ..RunReport::default()
+        };
+        if measure_ws {
+            if let Some(mut esp) = esp {
+                report.working_sets = Some(esp.take_working_sets());
+            }
+        }
+        let spec = report.esp.spec_instrs() + report.engine.runahead_instrs;
+        report.activity = ActivityCounts {
+            cycles: report.busy_cycles(),
+            normal_instrs: report.engine.retired,
+            spec_instrs: spec,
+            mispredicts: report.engine.mispredicts,
+        };
+        report.energy = EnergyModel::mcpat_32nm().report(&report.activity);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use esp_workload::BenchmarkProfile;
+
+    fn pct_err(sampled: f64, exact: f64) -> f64 {
+        if exact == 0.0 {
+            return 0.0;
+        }
+        100.0 * (sampled - exact).abs() / exact
+    }
+
+    #[test]
+    fn sampled_cpi_tracks_exact_for_base_and_esp() {
+        let w = BenchmarkProfile::amazon().scaled(600_000).build(42);
+        for cfg in [SimConfig::base(), SimConfig::esp_nl(), SimConfig::runahead()] {
+            let sim = Simulator::new(cfg);
+            let exact = sim.run(&w);
+            let sampled = sim.run_sampled(&w, SampleParams::default());
+            assert!(!sampled.estimate.exact_fallback);
+            assert!(sampled.estimate.grains_measured >= 2);
+            let exact_cpi = exact.busy_cycles() as f64 / exact.engine.retired as f64;
+            let got_cpi =
+                sampled.report.busy_cycles() as f64 / sampled.report.engine.retired as f64;
+            let err = pct_err(got_cpi, exact_cpi);
+            assert!(err < 8.0, "cpi error {err:.2}% (exact {exact_cpi:.4}, sampled {got_cpi:.4})");
+            // Retirement is tracked exactly through warming.
+            assert_eq!(sampled.report.engine.retired, exact.engine.retired);
+            assert_eq!(sampled.report.events_run, exact.events_run);
+        }
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic() {
+        let w = BenchmarkProfile::pixlr().scaled(120_000).build(7);
+        let sim = Simulator::new(SimConfig::esp_nl());
+        let a = sim.run_sampled(&w, SampleParams::default());
+        let b = sim.run_sampled(&w, SampleParams::default());
+        assert_eq!(a.report.total_cycles, b.report.total_cycles);
+        assert_eq!(a.report.engine, b.report.engine);
+        assert_eq!(a.estimate.measured_instrs, b.estimate.measured_instrs);
+        assert_eq!(a.estimate.cpi, b.estimate.cpi);
+    }
+
+    #[test]
+    fn tiny_workload_falls_back_to_exact() {
+        let w = BenchmarkProfile::amazon().scaled(5_000).build(42);
+        let sim = Simulator::new(SimConfig::base());
+        let exact = sim.run(&w);
+        let sampled = sim.run_sampled(&w, SampleParams::new(10_000, 20));
+        assert!(sampled.estimate.exact_fallback);
+        assert_eq!(sampled.report.total_cycles, exact.total_cycles);
+        assert_eq!(sampled.report.engine, exact.engine);
+        assert_eq!(sampled.estimate.cpi.se, 0.0);
+    }
+
+    #[test]
+    fn estimate_reports_confidence_interval() {
+        let w = BenchmarkProfile::gmaps().scaled(200_000).build(42);
+        let sim = Simulator::new(SimConfig::base());
+        let sampled = sim.run_sampled(&w, SampleParams::default());
+        let est = &sampled.estimate;
+        assert!(est.grains_measured >= 2, "measured {}", est.grains_measured);
+        assert!(est.cpi.ratio > 0.0);
+        assert!(est.cpi.ci95 >= 0.0);
+        assert_eq!(est.cpi.n, est.grains_measured);
+        assert!(est.measured_instrs < est.total_instrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be >= 3")]
+    fn short_period_is_rejected() {
+        SampleParams::new(1_000, 2);
+    }
+}

@@ -81,7 +81,7 @@ impl Simulator {
     /// work, all in one small code region (§3.6 observes ~70 such
     /// instructions). Generated in place — no per-event buffer.
     #[inline]
-    fn looper_instr(idx: usize, i: u64) -> Instr {
+    pub(crate) fn looper_instr(idx: usize, i: u64) -> Instr {
         let pc = Addr::new(LOOPER_PC_BASE + (i % 32) * 4);
         if i % 4 == 1 {
             Instr::load(pc, Addr::new(LOOPER_QUEUE_BASE + ((idx as u64 + i) % 16) * 64), false)
@@ -261,7 +261,7 @@ impl Simulator {
     /// workloads instantiate it with their boxed stream. Returns the
     /// number of pre-execution windows the event opened.
     #[allow(clippy::too_many_arguments)]
-    fn run_event<P: Probe, S: ForkStream>(
+    pub(crate) fn run_event<P: Probe, S: ForkStream>(
         &self,
         stream: &mut S,
         idx: usize,

@@ -231,6 +231,41 @@ impl SetAssocCache {
         self.meta[m + M_PREFETCHED] = u64::from(prefetched);
     }
 
+    /// Functional-warming access: one set scan that refreshes the LRU
+    /// stamp on a hit and installs over the LRU victim on a miss, exactly
+    /// as a probe followed by an instant fill would — but without the
+    /// second scan, and with no statistics and no prefetched-bit changes.
+    /// Returns whether the line was absent.
+    #[inline]
+    pub fn warm_touch(&mut self, line: LineAddr, now: Cycle) -> bool {
+        let base = self.set_base(line);
+        let key = self.key(line);
+        let stamp = self.bump_stamp();
+        if let Some(idx) = self.find_way(base, key) {
+            let m = idx * META;
+            self.meta[m + M_STAMP] = stamp;
+            if now.as_u64() < self.meta[m + M_READY] {
+                self.meta[m + M_READY] = now.as_u64();
+            }
+            return false;
+        }
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for idx in base..base + self.ways {
+            let k = if self.tags[idx] != 0 { self.meta[idx * META + M_STAMP] } else { 0 };
+            if k < best {
+                best = k;
+                victim = idx;
+            }
+        }
+        self.tags[victim] = key;
+        let m = victim * META;
+        self.meta[m + M_READY] = now.as_u64();
+        self.meta[m + M_STAMP] = stamp;
+        self.meta[m + M_PREFETCHED] = 0;
+        true
+    }
+
     /// Drops `line` if resident. Returns whether it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         match self.find_way(self.set_base(line), self.key(line)) {

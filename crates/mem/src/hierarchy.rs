@@ -360,6 +360,50 @@ impl MemoryHierarchy {
         self.record(MemOp::PrefetchDataInstant { line, now });
     }
 
+    /// Functional-warming instruction fetch: updates tags and LRU exactly
+    /// as a demand fetch would, but with instant fills, no latency, no
+    /// statistics, and no op-log entry. Returns whether the L1-I missed
+    /// (the next-line prefetcher's trigger condition).
+    ///
+    /// Used by the sampling mode's fast-forward (see `esp-core`); the
+    /// demand counters stay untouched so extrapolation scales only
+    /// detailed-grain measurements.
+    #[inline]
+    pub fn warm_instr(&mut self, line: LineAddr, now: Cycle) -> bool {
+        let missed = self.l1i.warm_touch(line, now);
+        if missed {
+            self.l2.warm_touch(line, now);
+        }
+        missed
+    }
+
+    /// Functional-warming data access (see [`Self::warm_instr`]).
+    /// Returns whether the L1-D missed.
+    #[inline]
+    pub fn warm_data(&mut self, line: LineAddr, now: Cycle) -> bool {
+        let missed = self.l1d.warm_touch(line, now);
+        if missed {
+            self.l2.warm_touch(line, now);
+        }
+        missed
+    }
+
+    /// Functional-warming instruction prefetch: instant install in L2 and
+    /// L1-I with the prefetched bit clear, so warmed prefetches neither
+    /// count as fills nor as useful prefetches in any level's statistics.
+    #[inline]
+    pub fn warm_prefetch_instr(&mut self, line: LineAddr, now: Cycle) {
+        self.l2.fill(line, now, now, false);
+        self.l1i.fill(line, now, now, false);
+    }
+
+    /// Data-side twin of [`Self::warm_prefetch_instr`].
+    #[inline]
+    pub fn warm_prefetch_data(&mut self, line: LineAddr, now: Cycle) {
+        self.l2.fill(line, now, now, false);
+        self.l1d.fill(line, now, now, false);
+    }
+
     /// The latency an ESP-mode access bypassing the L1s would see: an L2
     /// probe decides between the L2 and DRAM latencies. The probe is
     /// non-updating and nothing is filled — the caller installs the line in
@@ -540,6 +584,42 @@ mod tests {
         m.access_instr(LineAddr::new(2), Cycle::ZERO);
         m.set_recording(false);
         assert!(m.take_ops().is_empty(), "disabling drops the pending log");
+    }
+
+    #[test]
+    fn warm_access_updates_contents_but_not_stats() {
+        let mut m = mem();
+        m.set_recording(true);
+        let l = LineAddr::new(4_242);
+        assert!(m.warm_instr(l, Cycle::ZERO), "cold line misses L1-I");
+        assert!(!m.warm_instr(l, Cycle::ZERO), "now resident");
+        assert!(m.warm_data(LineAddr::new(555), Cycle::ZERO));
+        m.warm_prefetch_instr(LineAddr::new(556), Cycle::ZERO);
+        m.warm_prefetch_data(LineAddr::new(557), Cycle::ZERO);
+        // Contents are visible to later demand accesses...
+        assert!(m.l1i().probe(l));
+        assert!(m.l1i().probe(LineAddr::new(556)));
+        assert!(m.l1d().probe(LineAddr::new(557)));
+        assert!(m.l2().probe(LineAddr::new(555)));
+        // ...but no statistics or op-log entries were produced.
+        assert_eq!(m.snapshot(), HierarchySnapshot::default());
+        assert!(m.take_ops().is_empty());
+        // A demand access to a warmed line is an instant hit.
+        let r = m.access_instr(l, Cycle::new(5));
+        assert!(!r.l1_miss);
+    }
+
+    #[test]
+    fn warm_hit_refreshes_lru() {
+        let mut m = mem();
+        // L1-D is 2-way, 256 sets: three conflicting lines evict the LRU.
+        let (a, b, c) = (LineAddr::new(7), LineAddr::new(7 + 256), LineAddr::new(7 + 512));
+        m.warm_data(a, Cycle::ZERO);
+        m.warm_data(b, Cycle::ZERO);
+        m.warm_data(a, Cycle::ZERO); // refresh a: b becomes LRU
+        m.warm_data(c, Cycle::ZERO);
+        assert!(m.l1d().probe(a), "refreshed line survives");
+        assert!(!m.l1d().probe(b), "stale line was the victim");
     }
 
     #[test]

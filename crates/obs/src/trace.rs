@@ -53,6 +53,7 @@ fn push_cache_stats(out: &mut String, key: &str, s: &CacheStats) {
 pub struct TraceProbe {
     benchmark: String,
     config: String,
+    mode: Option<String>,
     emit_windows: bool,
     buf: String,
 }
@@ -63,6 +64,7 @@ impl TraceProbe {
         TraceProbe {
             benchmark: benchmark.to_string(),
             config: config.to_string(),
+            mode: None,
             emit_windows: false,
             buf: String::new(),
         }
@@ -71,6 +73,15 @@ impl TraceProbe {
     /// Also emits one `window` line per spent stall window.
     pub fn with_windows(mut self) -> Self {
         self.emit_windows = true;
+        self
+    }
+
+    /// Tags every line with an execution mode (e.g. `"sampled"`).
+    ///
+    /// Exact runs carry no mode field at all, so enabling sampling
+    /// elsewhere in a matrix leaves exact trace bytes unchanged.
+    pub fn with_mode(mut self, mode: &str) -> Self {
+        self.mode = Some(mode.to_string());
         self
     }
 
@@ -87,6 +98,10 @@ impl TraceProbe {
         push_json_str(&mut self.buf, &b);
         self.buf.push_str(",\"config\":");
         push_json_str(&mut self.buf, &c);
+        if let Some(m) = self.mode.clone() {
+            self.buf.push_str(",\"mode\":");
+            push_json_str(&mut self.buf, &m);
+        }
     }
 
     fn push_field_u64(&mut self, key: &str, v: u64) {
@@ -189,6 +204,18 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn mode_tag_only_when_set() {
+        let mut exact = TraceProbe::new("amazon", "base");
+        exact.on_run(&RunSummary::default());
+        let text = String::from_utf8(exact.into_bytes()).unwrap();
+        assert!(!text.contains("\"mode\""));
+        let mut sampled = TraceProbe::new("amazon", "base").with_mode("sampled");
+        sampled.on_run(&RunSummary::default());
+        let text = String::from_utf8(sampled.into_bytes()).unwrap();
+        assert!(text.contains("\"config\":\"base\",\"mode\":\"sampled\","));
     }
 
     #[test]

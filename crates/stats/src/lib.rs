@@ -26,8 +26,10 @@
 
 mod counters;
 mod metrics;
+mod sampling;
 mod table;
 
 pub use counters::{BranchStats, CacheStats, PrefetchStats};
 pub use metrics::{harmonic_mean, harmonic_mean_improvement, improvement_pct, mpki, percent, rate};
+pub use sampling::{ratio_estimate, RatioEstimate};
 pub use table::Table;

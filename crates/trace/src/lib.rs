@@ -53,6 +53,8 @@ mod record;
 mod stream;
 
 pub use instr::{Instr, InstrKind};
-pub use packed::{EventCursor, PackedCursor, PackedEvent, PackedTrace, PackedWorkload, TraceArena};
+pub use packed::{
+    EventCursor, PackedCursor, PackedEvent, PackedTrace, PackedWorkload, TraceArena, WarmSink,
+};
 pub use record::EventRecord;
 pub use stream::{record_stream, EventStream, ForkStream, VecEventStream, Workload};

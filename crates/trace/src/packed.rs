@@ -51,9 +51,31 @@
 //! assert_eq!(cursor.next_instr(), None);
 //! ```
 
+use crate::instr::INSTR_BYTES;
 use crate::{EventRecord, EventStream, Instr, InstrKind, Workload};
 use esp_types::{Addr, EventId};
 use std::sync::Arc;
+
+/// A consumer of the functional-warming walk ([`PackedTrace::warm_walk`]):
+/// the architectural-state updates a detailed engine would make — cache
+/// tags/LRU, predictor tables, prefetcher training — minus all timing.
+///
+/// The walk is monomorphized over the sink, so a sink with `#[inline]`
+/// methods warms at decode speed; instructions that carry no warmable
+/// state (ALUs on an already-fetched line) cost one table lookup and two
+/// adds.
+pub trait WarmSink {
+    /// The fetch stream entered instruction-cache line `line`
+    /// (`pc / line_bytes`). Called once per run of same-line
+    /// instructions, mirroring the detailed engine's fetch dedup.
+    fn warm_fetch_line(&mut self, line: u64);
+    /// A load at `pc` touched data address `addr`.
+    fn warm_load(&mut self, pc: u64, addr: u64);
+    /// A store touched data address `addr`.
+    fn warm_store(&mut self, addr: u64);
+    /// A branch executed; `instr` carries its kind, outcome, and target.
+    fn warm_branch(&mut self, instr: &Instr);
+}
 
 /// Discriminant values of the kind byte (low three bits).
 const TAG_ALU: u8 = 0;
@@ -174,6 +196,22 @@ impl PackedTrace {
     pub fn cursor(&self) -> PackedCursor<'_> {
         PackedCursor { trace: self, pos: 0, op_idx: 0, pc: self.start_pc }
     }
+
+    /// Walks the whole trace feeding architectural state into `sink`
+    /// without materialising an [`Instr`] per instruction — the
+    /// functional-warming fast path of the sampling mode.
+    ///
+    /// Only branches are decoded into full instructions (the predictor
+    /// needs kind, outcome, and target); loads and stores hand over raw
+    /// addresses, and the fetch line is reported once per run of
+    /// same-line pcs. Returns the number of instructions walked.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `line_bytes` is not a power of two.
+    pub fn warm_walk<S: WarmSink>(&self, line_bytes: u64, sink: &mut S) -> u64 {
+        self.cursor().warm_walk_bounded(u64::MAX, line_bytes, sink)
+    }
 }
 
 impl FromIterator<Instr> for PackedTrace {
@@ -249,6 +287,75 @@ impl PackedCursor<'_> {
     /// Instructions decoded so far.
     pub fn position(&self) -> u64 {
         self.pos as u64
+    }
+
+    /// Bounded, resumable functional-warming walk: feeds up to
+    /// `max_instrs` instructions into `sink` straight off the packed
+    /// arrays — no [`Instr`] is materialised except for branches — and
+    /// advances the cursor exactly as decoding them with
+    /// [`PackedCursor::next`] would. Returns the number of instructions
+    /// walked, which falls short of `max_instrs` only at end of trace.
+    ///
+    /// Fetch lines are reported on line *transitions within this call*;
+    /// the first instruction always reports its line, so a sink that
+    /// dedups fetch lines itself (as the engine does) sees the same
+    /// sequence a per-instruction walk would.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `line_bytes` is not a power of two.
+    pub fn warm_walk_bounded<S: WarmSink>(
+        &mut self,
+        max_instrs: u64,
+        line_bytes: u64,
+        sink: &mut S,
+    ) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        let shift = line_bytes.trailing_zeros();
+        let mut last_line = u64::MAX;
+        let mut walked = 0u64;
+        while walked < max_instrs {
+            let Some(&kind) = self.trace.kinds.get(self.pos) else { break };
+            if kind & EXPLICIT_PC != 0 {
+                self.pc = self.trace.ops[self.op_idx];
+                self.op_idx += 1;
+            }
+            let line = self.pc >> shift;
+            if line != last_line {
+                sink.warm_fetch_line(line);
+                last_line = line;
+            }
+            match kind & TAG_MASK {
+                TAG_ALU => self.pc += INSTR_BYTES,
+                TAG_LOAD => {
+                    sink.warm_load(self.pc, self.trace.ops[self.op_idx]);
+                    self.op_idx += 1;
+                    self.pc += INSTR_BYTES;
+                }
+                TAG_STORE => {
+                    sink.warm_store(self.trace.ops[self.op_idx]);
+                    self.op_idx += 1;
+                    self.pc += INSTR_BYTES;
+                }
+                tag => {
+                    let target = Addr::new(self.trace.ops[self.op_idx]);
+                    self.op_idx += 1;
+                    let at = Addr::new(self.pc);
+                    let instr = match tag {
+                        TAG_COND => Instr::cond_branch(at, kind & FLAG_BIT != 0, target),
+                        TAG_IND_BRANCH => Instr::indirect(at, target),
+                        TAG_IND_CALL => Instr::indirect_call(at, target),
+                        TAG_CALL => Instr::call(at, target),
+                        _ => Instr::ret(at, target),
+                    };
+                    sink.warm_branch(&instr);
+                    self.pc = instr.next_pc().as_u64();
+                }
+            }
+            self.pos += 1;
+            walked += 1;
+        }
+        walked
     }
 }
 
@@ -353,6 +460,31 @@ impl EventStream for EventCursor<'_> {
 
     fn fork(&self) -> Box<dyn EventStream + '_> {
         Box::new(self.clone())
+    }
+
+    fn warm_region<S: WarmSink>(&mut self, max_instrs: u64, line_bytes: u64, sink: &mut S) -> u64 {
+        let mut walked = 0u64;
+        while walked < max_instrs {
+            let mut budget = max_instrs - walked;
+            if self.speculative && !self.in_tail {
+                if let Some(d) = self.event.diverge_at {
+                    let to_diverge = d - self.seg.position();
+                    if to_diverge == 0 {
+                        self.base = self.seg.position();
+                        self.seg = self.event.spec_tail.cursor();
+                        self.in_tail = true;
+                    } else {
+                        budget = budget.min(to_diverge);
+                    }
+                }
+            }
+            let n = self.seg.warm_walk_bounded(budget, line_bytes, sink);
+            walked += n;
+            if n < budget {
+                break;
+            }
+        }
+        walked
     }
 }
 
@@ -645,6 +777,59 @@ mod tests {
         let ev =
             PackedEvent::new(PackedTrace::from_instrs(&actual), Some(10_000), PackedTrace::new());
         assert_eq!(record_stream(&mut ev.speculative_cursor(), usize::MAX), actual);
+    }
+
+    #[derive(Default)]
+    struct RecordingSink {
+        fetches: Vec<u64>,
+        loads: Vec<(u64, u64)>,
+        stores: Vec<u64>,
+        branches: Vec<Instr>,
+    }
+
+    impl WarmSink for RecordingSink {
+        fn warm_fetch_line(&mut self, line: u64) {
+            self.fetches.push(line);
+        }
+        fn warm_load(&mut self, pc: u64, addr: u64) {
+            self.loads.push((pc, addr));
+        }
+        fn warm_store(&mut self, addr: u64) {
+            self.stores.push(addr);
+        }
+        fn warm_branch(&mut self, instr: &Instr) {
+            self.branches.push(*instr);
+        }
+    }
+
+    #[test]
+    fn warm_walk_matches_cursor_replay() {
+        for v in [consistent(), discontinuous()] {
+            let p = PackedTrace::from_instrs(&v);
+            let mut sink = RecordingSink::default();
+            assert_eq!(p.warm_walk(64, &mut sink), v.len() as u64);
+            let mut want = RecordingSink::default();
+            let mut last_line = u64::MAX;
+            for i in &v {
+                let line = i.pc.as_u64() / 64;
+                if line != last_line {
+                    want.fetches.push(line);
+                    last_line = line;
+                }
+                match i.kind {
+                    InstrKind::Alu => {}
+                    InstrKind::Load { addr, .. } => {
+                        want.loads.push((i.pc.as_u64(), addr.as_u64()))
+                    }
+                    InstrKind::Store { addr } => want.stores.push(addr.as_u64()),
+                    _ => want.branches.push(*i),
+                }
+            }
+            assert_eq!(sink.fetches, want.fetches);
+            assert_eq!(sink.loads, want.loads);
+            assert_eq!(sink.stores, want.stores);
+            assert_eq!(sink.branches, want.branches);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Resumable event instruction streams and the workload abstraction.
 
-use crate::{EventRecord, Instr, PackedWorkload};
+use crate::{EventRecord, Instr, InstrKind, PackedWorkload, WarmSink};
 use esp_types::EventId;
 
 /// A resumable cursor over one event's dynamic instruction stream.
@@ -25,6 +25,42 @@ pub trait EventStream {
     /// current event's stream at the blocking load; the original cursor
     /// resumes normal execution untouched.
     fn fork(&self) -> Box<dyn EventStream + '_>;
+
+    /// Consumes up to `max_instrs` instructions, feeding their
+    /// architectural state into a functional-warming `sink` instead of
+    /// returning them (the sampling mode's fast-forward). Returns the
+    /// number of instructions consumed, short of `max_instrs` only at end
+    /// of stream.
+    ///
+    /// The default decodes through [`EventStream::next_instr`]; packed
+    /// cursors override it with a walk straight off the packed arrays
+    /// (see `PackedCursor::warm_walk_bounded`). Fetch lines are reported
+    /// on transitions within one call, first instruction included, so
+    /// sinks that dedup fetch lines themselves see identical sequences
+    /// from either path.
+    fn warm_region<S: WarmSink>(&mut self, max_instrs: u64, line_bytes: u64, sink: &mut S) -> u64
+    where
+        Self: Sized,
+    {
+        let mut last_line = u64::MAX;
+        let mut walked = 0u64;
+        while walked < max_instrs {
+            let Some(i) = self.next_instr() else { break };
+            let line = i.pc.line(line_bytes).as_u64();
+            if line != last_line {
+                sink.warm_fetch_line(line);
+                last_line = line;
+            }
+            match i.kind {
+                InstrKind::Alu => {}
+                InstrKind::Load { addr, .. } => sink.warm_load(i.pc.as_u64(), addr.as_u64()),
+                InstrKind::Store { addr } => sink.warm_store(addr.as_u64()),
+                _ => sink.warm_branch(&i),
+            }
+            walked += 1;
+        }
+        walked
+    }
 }
 
 impl<S: EventStream + ?Sized> EventStream for Box<S> {

@@ -132,6 +132,31 @@ pub struct Engine {
     last_data_llc_miss_at: Option<u64>,
     stack: CpiStack,
     stats: EngineStats,
+    warm: WarmStats,
+}
+
+/// Auxiliary event counts accumulated by the functional-warming paths,
+/// mirroring [`EngineStats`]'s counting rules (fetch-line dedup,
+/// perfect-flag gating) but kept separate so detailed-grain measurements
+/// stay unpolluted. The sampling extrapolator uses these as per-class
+/// denominators and adds them to the detailed counters when reporting
+/// whole-run miss totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// L1-I lookups (one per fetched line transition).
+    pub l1i_accesses: u64,
+    /// L1-I misses.
+    pub l1i_misses: u64,
+    /// L1-D lookups (loads and stores).
+    pub l1d_accesses: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// Branches warmed.
+    pub branches: u64,
+    /// Branches whose warm prediction was a full mispredict.
+    pub mispredicts: u64,
+    /// Branches whose warm prediction was a decode re-steer.
+    pub misfetches: u64,
 }
 
 impl Engine {
@@ -158,6 +183,7 @@ impl Engine {
             last_data_llc_miss_at: None,
             stack: CpiStack::default(),
             stats: EngineStats::default(),
+            warm: WarmStats::default(),
             cfg,
         }
     }
@@ -421,6 +447,158 @@ impl Engine {
         self.stats.retired += 1;
         out
     }
+
+    // ---- functional warming ---------------------------------------------
+    //
+    // The sampling mode's fast-forward (see `esp-core`): between detailed
+    // grains the engine keeps every architectural structure trained —
+    // cache tags/LRU, prefetcher state, branch-predictor tables — while
+    // charging no stall cycles and recording no statistics other than the
+    // retired-instruction count. The warm paths mirror `step_probed`'s
+    // update decisions exactly (fetch-line dedup, perfect flags,
+    // miss-triggered NL-I, every-access DCU, load-only stride) with
+    // instant fills in place of timed ones.
+
+    /// Warms the fetch path for instruction line `line`.
+    #[inline]
+    fn warm_fetch(&mut self, line: LineAddr) {
+        if self.last_fetch_line == Some(line) {
+            return;
+        }
+        self.last_fetch_line = Some(line);
+        if self.cfg.perfect.l1i {
+            return;
+        }
+        self.warm.l1i_accesses += 1;
+        let missed = self.mem.warm_instr(line, self.now);
+        if missed {
+            self.warm.l1i_misses += 1;
+        }
+        if self.cfg.nl_instr && missed {
+            if let Some(p) = self.nl_i.on_fetch(line) {
+                self.mem.warm_prefetch_instr(p, self.now);
+            }
+        }
+    }
+
+    /// Warms the data path for a load at `pc` of `addr`.
+    #[inline]
+    fn warm_load(&mut self, pc: esp_types::Addr, addr: esp_types::Addr) {
+        let line_bytes = self.cfg.machine.hierarchy.l1i.line_bytes;
+        let line = addr.line(line_bytes);
+        self.warm.l1d_accesses += 1;
+        if self.mem.warm_data(line, self.now) {
+            self.warm.l1d_misses += 1;
+        }
+        if self.cfg.nl_data {
+            if let Some(p) = self.dcu.on_access(line) {
+                self.mem.warm_prefetch_data(p, self.now);
+            }
+        }
+        if self.cfg.stride {
+            if let Some(p) = self.stride.on_load(pc, addr, line_bytes) {
+                self.mem.warm_prefetch_data(p, self.now);
+            }
+        }
+    }
+
+    /// Warms the data path for a store of `addr`.
+    #[inline]
+    fn warm_store(&mut self, addr: esp_types::Addr) {
+        let line_bytes = self.cfg.machine.hierarchy.l1i.line_bytes;
+        let line = addr.line(line_bytes);
+        self.warm.l1d_accesses += 1;
+        if self.mem.warm_data(line, self.now) {
+            self.warm.l1d_misses += 1;
+        }
+        if self.cfg.nl_data {
+            if let Some(p) = self.dcu.on_access(line) {
+                self.mem.warm_prefetch_data(p, self.now);
+            }
+        }
+    }
+
+    /// Functionally warms one instruction: all the state updates of
+    /// [`Engine::step`], no cycle charges, no statistics beyond
+    /// `retired`. Used for streams the packed warm walk cannot cover
+    /// (the looper prologue, unpacked workloads).
+    pub fn warm_step(&mut self, instr: &Instr) {
+        let line_bytes = self.cfg.machine.hierarchy.l1i.line_bytes;
+        self.warm_fetch(instr.pc.line(line_bytes));
+        if instr.is_branch() {
+            self.warm_branch_instr(instr);
+        }
+        match instr.kind {
+            InstrKind::Load { addr, .. } if !self.cfg.perfect.l1d => {
+                self.warm_load(instr.pc, addr)
+            }
+            InstrKind::Store { addr } if !self.cfg.perfect.l1d => self.warm_store(addr),
+            _ => {}
+        }
+        self.stats.retired += 1;
+    }
+
+    /// Warms the branch predictor for one branch, counting the outcome.
+    #[inline]
+    fn warm_branch_instr(&mut self, instr: &Instr) {
+        self.warm.branches += 1;
+        if self.cfg.perfect.branch {
+            return;
+        }
+        match self.bp.warm_update(instr) {
+            Prediction::Mispredict => self.warm.mispredicts += 1,
+            Prediction::Misfetch => self.warm.misfetches += 1,
+            Prediction::Correct => {}
+        }
+    }
+
+    /// Auxiliary event counts of the warming paths so far.
+    pub fn warm_stats(&self) -> &WarmStats {
+        &self.warm
+    }
+
+    /// Credits `instrs` warm-walked instructions to the retired count
+    /// (the packed warm walk feeds state through the [`esp_trace::WarmSink`]
+    /// impl and reports its instruction total once, in bulk).
+    pub fn warm_retire(&mut self, instrs: u64) {
+        self.stats.retired += instrs;
+    }
+
+    /// Advances the clock over a warmed (unmeasured) region, charging the
+    /// cycles as [`CycleClass::Idle`] so the stack's conservation
+    /// invariant (`cpi_stack().total() == now()`) holds and the
+    /// busy-cycle figure of merit stays a function of detailed grains
+    /// only.
+    pub fn warm_advance(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.stack.charge(CycleClass::Idle, cycles);
+    }
+}
+
+impl esp_trace::WarmSink for Engine {
+    #[inline]
+    fn warm_fetch_line(&mut self, line: u64) {
+        self.warm_fetch(LineAddr::new(line));
+    }
+
+    #[inline]
+    fn warm_load(&mut self, pc: u64, addr: u64) {
+        if !self.cfg.perfect.l1d {
+            Engine::warm_load(self, esp_types::Addr::new(pc), esp_types::Addr::new(addr));
+        }
+    }
+
+    #[inline]
+    fn warm_store(&mut self, addr: u64) {
+        if !self.cfg.perfect.l1d {
+            Engine::warm_store(self, esp_types::Addr::new(addr));
+        }
+    }
+
+    #[inline]
+    fn warm_branch(&mut self, instr: &Instr) {
+        self.warm_branch_instr(instr);
+    }
 }
 
 #[cfg(test)]
@@ -597,6 +775,61 @@ mod tests {
         // Idling backwards is a no-op.
         e.idle_until(Cycle::new(100));
         assert_eq!(e.now().as_u64(), 500);
+    }
+
+    #[test]
+    fn warm_step_trains_state_without_cycles_or_stats() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        e.warm_step(&Instr::load(Addr::new(0x40_0000), Addr::new(0x9_0000), false));
+        assert_eq!(e.now().as_u64(), 0);
+        assert_eq!(e.cpi_stack().total(), 0);
+        assert_eq!(e.stats().l1i_accesses, 0);
+        assert_eq!(e.stats().l1d_accesses, 0);
+        assert_eq!(e.stats().retired, 1);
+        // The warmed data line hits in a detailed step (fetch stays on
+        // the warmed line, so only the data path is exercised).
+        let out = e.step(&Instr::load(Addr::new(0x40_0004), Addr::new(0x9_0000), false));
+        assert!(out.stall.is_none());
+        assert!(!out.l1d_miss);
+        // Leave the warmed code line and come back: it hits too.
+        e.step(&alu_at(0x50_0000));
+        let out = e.step(&alu_at(0x40_0008));
+        assert!(!out.l1i_miss);
+    }
+
+    #[test]
+    fn warm_sink_walk_matches_warm_step() {
+        use esp_trace::PackedTrace;
+        // Warming via the packed walk and via per-instruction warm_step
+        // must leave identical cache/predictor state.
+        let instrs = vec![
+            Instr::alu(Addr::new(0x40_0000)),
+            Instr::load(Addr::new(0x40_0004), Addr::new(0x9_0000), false),
+            Instr::store(Addr::new(0x40_0008), Addr::new(0xa_0040)),
+            Instr::cond_branch(Addr::new(0x40_000c), true, Addr::new(0x40_0000)),
+        ];
+        let packed = PackedTrace::from_instrs(&instrs);
+        let mut walked = Engine::new(EngineConfig::next_line());
+        let line_bytes = walked.config().machine.hierarchy.l1i.line_bytes;
+        let n = packed.warm_walk(line_bytes, &mut walked);
+        walked.warm_retire(n);
+        let mut stepped = Engine::new(EngineConfig::next_line());
+        for i in &instrs {
+            stepped.warm_step(i);
+        }
+        assert_eq!(walked.stats().retired, stepped.stats().retired);
+        assert_eq!(walked.mem().snapshot(), stepped.mem().snapshot());
+        assert!(walked.mem().l1d().probe(Addr::new(0x9_0000).line(line_bytes)));
+        assert!(walked.mem().l1i().probe(Addr::new(0x40_0000).line(line_bytes)));
+    }
+
+    #[test]
+    fn warm_advance_charges_idle() {
+        let mut e = Engine::new(EngineConfig::baseline());
+        e.warm_advance(123);
+        assert_eq!(e.now().as_u64(), 123);
+        assert_eq!(e.breakdown().idle, 123);
+        assert_eq!(e.cpi_stack().total(), 123);
     }
 
     #[test]

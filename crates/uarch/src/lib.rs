@@ -53,6 +53,6 @@ mod perfect;
 mod runahead;
 
 pub use config::{EngineConfig, MachineConfig, TimingParams};
-pub use engine::{CycleBreakdown, Engine, EngineStats, Stall, StallKind, StepOutcome};
+pub use engine::{CycleBreakdown, Engine, EngineStats, Stall, StallKind, StepOutcome, WarmStats};
 pub use perfect::PerfectFlags;
 pub use runahead::RunaheadOutcome;

@@ -5,12 +5,15 @@
 #   ./scripts/bench.sh --repeat 5 # extra repetitions on a noisy host
 #
 # The bench runs the full evaluation matrix (7 profiles x 29 configs =
-# 203 simulations) twice: pass 1 cold on one thread (generate +
-# materialise + simulate), pass 2 warm on all cores (arena reused).
-# Each pass is best-of-N (default 3) because the work is deterministic,
-# so the minimum is the least-disturbed measurement; see
-# docs/PERFORMANCE.md for the protocol. Extra arguments are forwarded
-# to `repro` after the defaults, so they win.
+# 203 simulations) three times: pass 1 cold on one thread (generate +
+# materialise + simulate), pass 2 warm on all cores (arena reused;
+# skipped with a JSON note when only one core is visible), pass 3 warm
+# in statistical-sampling mode with a sampled-vs-exact CPI error
+# cross-check. Exact and sampled throughput both land in
+# BENCH_repro.json. Each pass is best-of-N (default 3) because the work
+# is deterministic, so the minimum is the least-disturbed measurement;
+# see docs/PERFORMANCE.md for the protocol. Extra arguments are
+# forwarded to `repro` after the defaults, so they win.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
