@@ -1,0 +1,48 @@
+//! Per-configuration timing split of the exact-mode hot loop.
+//!
+//! Usage: `cargo run --release -p esp-bench --example kerntime [scale]`
+//!
+//! Times one simulation per (profile, config-class) pair so kernel work
+//! can be aimed at the classes that dominate the matrix.
+
+use esp_bench::ConfigKey;
+use esp_core::Simulator;
+use esp_trace::Workload;
+use esp_workload::BenchmarkProfile;
+use std::time::Instant;
+
+fn main() {
+    let scale: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600_000);
+    let seed = 42;
+    let keys = [
+        ConfigKey::Base,
+        ConfigKey::NextLineStride,
+        ConfigKey::Runahead,
+        ConfigKey::Esp,
+        ConfigKey::EspNl,
+        ConfigKey::IdealEspINlI,
+        ConfigKey::PerfectAll,
+        ConfigKey::EspDepthProbe,
+    ];
+    let profiles = [BenchmarkProfile::amazon(), BenchmarkProfile::gmaps()];
+    for profile in profiles {
+        let w = esp_workload::arena::packed_for(&profile.scaled(scale), seed, esp_par::threads());
+        let instrs = w.approx_total_instructions();
+        println!("{} ({} instrs):", profile.name(), instrs);
+        for key in keys {
+            let sim = Simulator::new(key.config());
+            let t = Instant::now();
+            let r = sim.run(&*w);
+            let dt = t.elapsed().as_secs_f64();
+            let all = r.engine.retired + r.esp.spec_instrs() + r.engine.runahead_instrs;
+            println!(
+                "  {:<22} {:>7.3}s  retired {:>9}  spec {:>9}  {:>6.1} Minstr/s",
+                format!("{key:?}"),
+                dt,
+                r.engine.retired,
+                all - r.engine.retired,
+                all as f64 / dt / 1e6,
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline instruction-mix and plain-ALU-run statistics for one profile's
+//! packed trace — tells the kernel work where batching can possibly pay.
+//!
+//! Usage: `cargo run --release -p esp-bench --example runstats [scale]`
+
+use esp_trace::kindbits::{TAG_ALU, TAG_COND, TAG_LOAD, TAG_MASK, TAG_STORE};
+use esp_trace::{Workload, INSTR_BYTES};
+use esp_workload::BenchmarkProfile;
+
+fn main() {
+    let scale: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600_000);
+    let profile = BenchmarkProfile::amazon();
+    let w = esp_workload::arena::packed_for(&profile.scaled(scale), 42, 1);
+    let events = w.events();
+    let mut total = 0u64;
+    let mut by_tag = [0u64; 8];
+    let mut batched = 0u64; // instrs inside a same-line plain run of len >= 2
+    let mut runs = 0u64;
+    let mut run_hist = [0u64; 17];
+    let mut data_accesses = 0u64;
+    let mut data_same_line = 0u64; // data accesses to the previous data line
+    for rec in events.iter() {
+        let mut c = w.arena().event(rec.id.index() as usize).actual_cursor();
+        let mut cur_line = u64::MAX;
+        let mut last_data_line = u64::MAX;
+        loop {
+            // Replicate the kernel's batching condition: on the current
+            // fetch line (so not the first instr of a line), plain ALUs to
+            // line end.
+            let pc = c.raw_pc();
+            let line = pc >> 6;
+            if line == cur_line {
+                let line_end = (line + 1) << 6;
+                let max = ((line_end - pc) / INSTR_BYTES) as usize;
+                let n = c.plain_run(max);
+                if n > 0 {
+                    c.skip_plain(n);
+                    total += n as u64;
+                    by_tag[TAG_ALU as usize] += n as u64;
+                    batched += n as u64;
+                    runs += 1;
+                    run_hist[n.min(16)] += 1;
+                    continue;
+                }
+            }
+            let Some(rs) = c.next_raw() else { break };
+            total += 1;
+            let tag = rs.kind & TAG_MASK;
+            by_tag[tag as usize] += 1;
+            cur_line = rs.pc >> 6;
+            if tag == TAG_LOAD || tag == TAG_STORE {
+                data_accesses += 1;
+                if rs.op >> 6 == last_data_line {
+                    data_same_line += 1;
+                }
+                last_data_line = rs.op >> 6;
+            }
+        }
+    }
+    println!("total instrs: {total}");
+    println!(
+        "alu {:.1}%  load {:.1}%  store {:.1}%  branch {:.1}%",
+        100.0 * by_tag[TAG_ALU as usize] as f64 / total as f64,
+        100.0 * by_tag[TAG_LOAD as usize] as f64 / total as f64,
+        100.0 * by_tag[TAG_STORE as usize] as f64 / total as f64,
+        100.0 * by_tag[TAG_COND as usize..].iter().sum::<u64>() as f64 / total as f64,
+    );
+    println!(
+        "data accesses: {data_accesses}, same-line-as-previous: {data_same_line} ({:.1}%)",
+        100.0 * data_same_line as f64 / data_accesses.max(1) as f64
+    );
+    println!(
+        "batched plain-run instrs: {batched} ({:.1}%) in {runs} runs (avg {:.2}/run)",
+        100.0 * batched as f64 / total as f64,
+        batched as f64 / runs.max(1) as f64
+    );
+    for (len, n) in run_hist.iter().enumerate() {
+        if *n > 0 {
+            println!("  run len {:>2}{}: {n}", len, if len == 16 { "+" } else { " " });
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Counts pre-execution windows and their instruction yield for one
+//! profile under the ESP-family configs — sizes the per-window fixed
+//! overhead (slot scan, RAS checkpoint) against per-instruction work.
+//!
+//! Usage: `cargo run --release -p esp-bench --example wincount [scale]`
+
+use esp_bench::ConfigKey;
+use esp_core::Simulator;
+use esp_obs::{Probe, WindowRecord};
+use esp_workload::BenchmarkProfile;
+
+#[derive(Default)]
+struct WinCounter {
+    windows: u64,
+    instrs: u64,
+    offered: u64,
+    utilized: u64,
+}
+
+impl Probe for WinCounter {
+    fn on_window(&mut self, w: &WindowRecord) {
+        self.windows += 1;
+        self.instrs += w.instrs;
+        self.offered += w.offered_cycles;
+        self.utilized += w.utilized_cycles;
+    }
+}
+
+fn main() {
+    let scale: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600_000);
+    let profile = BenchmarkProfile::amazon();
+    let w = esp_workload::arena::packed_for(&profile.scaled(scale), 42, 1);
+    for key in [ConfigKey::Runahead, ConfigKey::Esp, ConfigKey::EspNl, ConfigKey::EspDepthProbe] {
+        let sim = Simulator::new(key.config());
+        let mut p = WinCounter::default();
+        let r = sim.run_probed(&*w, &mut p);
+        println!(
+            "{key:?}: {} windows, {} window instrs ({:.1}/window), offered {} utilized {} cycles, retired {}",
+            p.windows,
+            p.instrs,
+            p.instrs as f64 / p.windows.max(1) as f64,
+            p.offered,
+            p.utilized,
+            r.engine.retired,
+        );
+    }
+}

@@ -359,7 +359,7 @@ fn bench(
     eprintln!(
         "# bench pass 1: cold, 1 thread (scale {scale}, seed {seed}), best of {repeat}..."
     );
-    let mut best: Option<(f64, esp_bench::PhaseSeconds, u64, u64)> = None;
+    let mut best: Option<(f64, esp_bench::PhaseSeconds, u64, u64, u64)> = None;
     for rep in 1..=repeat {
         // A cold repetition regenerates and re-materialises everything:
         // drop the process-wide arena cache left by the previous one.
@@ -370,13 +370,24 @@ fn bench(
         let total = t.elapsed().as_secs_f64();
         eprintln!("#   rep {rep}: {total:.2}s ({:.3} sims/s)", cold.sims_run() as f64 / total.max(1e-9));
         if best.as_ref().is_none_or(|(b, ..)| total < *b) {
-            best = Some((total, cold.phase_seconds(), cold.arena_resident_bytes(), cold.sims_run()));
+            best = Some((
+                total,
+                cold.phase_seconds(),
+                cold.arena_resident_bytes(),
+                cold.sims_run(),
+                cold.instructions_simulated(),
+            ));
         }
     }
-    let (total_1t, phases, arena_bytes, sims) = best.expect("repeat >= 1");
+    let (total_1t, phases, arena_bytes, sims, instrs) = best.expect("repeat >= 1");
+    // Instructions per wall-second across the whole matrix — retired plus
+    // speculative (ESP pre-execution, runahead re-execution), which is
+    // real simulation work; the per-sim count is deterministic, so MIPS
+    // moves with the same best-of-N minimum as sims/s.
+    let mips_1t = instrs as f64 / total_1t.max(1e-9) / 1e6;
     eprintln!(
-        "# pass 1: {sims} sims in {total_1t:.2}s ({:.3} sims/s; generate {:.2}s, \
-         materialise {:.2}s, simulate {:.2}s, arena {:.1} MiB)",
+        "# pass 1: {sims} sims in {total_1t:.2}s ({:.3} sims/s, {mips_1t:.2} MIPS; \
+         generate {:.2}s, materialise {:.2}s, simulate {:.2}s, arena {:.1} MiB)",
         sims as f64 / total_1t.max(1e-9),
         phases.generate,
         phases.materialise,
@@ -465,24 +476,34 @@ fn bench(
     let nt_json = match (&best_nt, &nt_note) {
         (Some((total_nt, phases_nt)), _) => format!(
             "\n  \"threads_nt\": {threads_nt},\n  \"total_seconds_nt\": {total_nt:.3},\n  \
-             \"sims_per_sec_nt\": {:.3},\n  \"simulate_seconds_nt\": {:.3},",
+             \"sims_per_sec_nt\": {:.3},\n  \"mips_nt\": {:.3},\n  \
+             \"simulate_seconds_nt\": {:.3},",
             sims as f64 / total_nt.max(1e-9),
+            instrs as f64 / total_nt.max(1e-9) / 1e6,
             phases_nt.simulate,
         ),
         (None, Some(note)) => format!("\n  \"threads_nt\": 1,\n  \"nt_note\": \"{note}\","),
         (None, None) => unreachable!("one branch of pass 2 always runs"),
     };
+    // The sampled block repeats the scale it was measured at: the CPI
+    // error is scale-dependent (fewer sampling periods fit in a smaller
+    // workload), so its numbers are only meaningful next to their scale.
+    let effective_mips = sampled.instructions_simulated() as f64 / total_s.max(1e-9) / 1e6;
     let json = format!(
         "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,{nt_json}\n  \
          \"repeat\": {repeat},\n  \"sims_run\": {sims},\n  \
+         \"instructions_simulated\": {instrs},\n  \
          \"total_seconds\": {total_1t:.3},\n  \
          \"sims_per_sec\": {:.3},\n  \"sims_per_sec_1t\": {:.3},\n  \
+         \"mips\": {mips_1t:.3},\n  \"mips_1t\": {mips_1t:.3},\n  \
          \"arena_bytes\": {arena_bytes},\n  \
          \"phase_seconds\": {{\"generate\": {:.3}, \"materialise\": {:.3}, \
          \"simulate\": {:.3}}},\n  \
-         \"sampled\": {{\"grain_instrs\": {}, \"period\": {}, \"sims\": {sims},\n    \
+         \"sampled\": {{\"scale\": {scale}, \"grain_instrs\": {}, \"period\": {}, \
+         \"sims\": {sims},\n    \
          \"total_seconds\": {total_s:.3}, \"simulate_seconds\": {:.3}, \
-         \"sims_per_sec\": {:.3},\n    \"simulate_speedup_vs_exact\": {speedup:.3}, \
+         \"sims_per_sec\": {:.3}, \"effective_mips\": {effective_mips:.3},\n    \
+         \"simulate_speedup_vs_exact\": {speedup:.3}, \
          \"max_cpi_error_pct\": {max_err:.3}, \"mean_cpi_error_pct\": {mean_err:.3}}}\n}}\n",
         sims as f64 / total_1t.max(1e-9),
         sims as f64 / total_1t.max(1e-9),

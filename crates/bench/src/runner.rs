@@ -334,6 +334,19 @@ impl Runner {
         self.sims_run
     }
 
+    /// Total instructions simulated across every cached report: retired
+    /// plus ESP speculative pre-execution plus runahead re-execution —
+    /// the numerator of the MIPS throughput metric. In sampling mode the
+    /// reports carry whole-workload estimates, so the quotient is an
+    /// *effective* MIPS (work represented per second, not instructions
+    /// stepped in detail).
+    pub fn instructions_simulated(&self) -> u64 {
+        self.cache
+            .values()
+            .map(|r| r.engine.retired + r.esp.spec_instrs() + r.engine.runahead_instrs)
+            .sum()
+    }
+
     /// Benchmark names in presentation order.
     pub fn names(&self) -> Vec<&'static str> {
         self.profiles.iter().map(|p| p.name()).collect()

@@ -10,7 +10,7 @@
 //! count used to materialise the arena.
 
 use esp_bench::ConfigKey;
-use esp_core::Simulator;
+use esp_core::{SampleParams, Simulator};
 use esp_obs::TraceProbe;
 use esp_trace::Workload;
 use esp_workload::BenchmarkProfile;
@@ -49,6 +49,36 @@ fn packed_replay_matches_regenerative_walk_bit_for_bit() {
                 probe_walk.into_bytes(),
                 probe_packed.into_bytes(),
                 "{what}: JSONL trace bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_sampled_replay_matches_regenerative_walk_bit_for_bit() {
+    // Sampled mode takes the fused-kernel path for packed workloads
+    // (raw decode + lowered dispatch table in detailed grains, batched
+    // plain-ALU charging clipped to grain boundaries). The whole
+    // SampledRun — extrapolated report and estimator — must still render
+    // byte-identically to the regenerative walk, which runs the decoded
+    // per-instruction loop.
+    let params = SampleParams { grain_instrs: 500, period: 4 };
+    for profile in BenchmarkProfile::all() {
+        let walk = profile.scaled(SCALE).build(SEED);
+        let packed = walk.materialise_par(2);
+        for key in KEYS {
+            let sampled_walk = Simulator::new(key.config()).run_sampled(&walk, params);
+            let sampled_packed = Simulator::new(key.config()).run_sampled(&packed, params);
+            assert!(
+                !sampled_walk.estimate.exact_fallback,
+                "{} {key:?}: workload too small, sampling fell back to exact",
+                profile.name()
+            );
+            assert_eq!(
+                format!("{sampled_walk:#?}"),
+                format!("{sampled_packed:#?}"),
+                "{} {key:?}: SampledRun",
+                profile.name()
             );
         }
     }

@@ -289,6 +289,13 @@ impl ReturnStack {
         self.stack.clear();
     }
 
+    /// Makes `self` an exact copy of `other`, reusing `self`'s storage —
+    /// the allocation-free half of a checkpoint/restore round trip.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.stack.clone_from(&other.stack);
+        self.capacity = other.capacity;
+    }
+
     /// Current depth.
     pub fn depth(&self) -> usize {
         self.stack.len()

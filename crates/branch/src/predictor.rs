@@ -446,10 +446,29 @@ impl BranchPredictor {
         }
     }
 
+    /// [`Self::checkpoint_speculative`] into an existing checkpoint,
+    /// reusing its RAS storage. The window-spending hot loop checkpoints
+    /// once per stall window; the in-place form keeps that allocation
+    /// free after the first window.
+    pub fn checkpoint_speculative_into(&mut self, cp: &mut SpeculativeCheckpoint) {
+        self.record(BpOp::Checkpoint);
+        cp.pir = self.pirs[PredictorContext::Normal.idx()];
+        cp.ras.copy_from(&self.ras);
+    }
+
     /// Restores a [`SpeculativeCheckpoint`].
     pub fn restore_speculative(&mut self, cp: SpeculativeCheckpoint) {
         self.pirs[PredictorContext::Normal.idx()] = cp.pir;
         self.ras = cp.ras;
+        self.record(BpOp::Restore);
+    }
+
+    /// [`Self::restore_speculative`] from a borrowed checkpoint, reusing
+    /// the live RAS's storage (the allocation-free pair of
+    /// [`Self::checkpoint_speculative_into`]).
+    pub fn restore_speculative_from(&mut self, cp: &SpeculativeCheckpoint) {
+        self.pirs[PredictorContext::Normal.idx()] = cp.pir;
+        self.ras.copy_from(&cp.ras);
         self.record(BpOp::Restore);
     }
 

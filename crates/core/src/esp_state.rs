@@ -13,7 +13,7 @@ use crate::config::EspFeatures;
 use crate::lineset::LineSet;
 use crate::replay::ReplayLists;
 use crate::working_set::WorkingSetReport;
-use esp_branch::PredictorContext;
+use esp_branch::{PredictorContext, SpeculativeCheckpoint};
 use esp_lists::{AddrList, BList, ListCapacities};
 use esp_mem::{AccessResult, CacheConfig, Cachelet, CacheletSlot, SetAssocCache};
 use esp_obs::{CycleClass, NullProbe, Probe, WindowRecord, WindowSpender};
@@ -155,6 +155,9 @@ pub(crate) struct EspState<'w> {
     side_d: Vec<SetAssocCache>,
     stats: EspRunStats,
     working_sets: WorkingSetReport,
+    /// Scratch buffer for the per-window RAS/PIR checkpoint, reused so
+    /// the window hot path performs no allocation after the first.
+    bp_checkpoint: Option<SpeculativeCheckpoint>,
 }
 
 impl<'w> EspState<'w> {
@@ -179,6 +182,7 @@ impl<'w> EspState<'w> {
             side_d: side(n_side),
             stats: EspRunStats { instrs_by_depth: vec![0; depth], ..EspRunStats::default() },
             working_sets: WorkingSetReport::new(depth),
+            bp_checkpoint: None,
         }
     }
 
@@ -278,7 +282,13 @@ impl<'w> EspState<'w> {
         // DESIGN.md. Under SharedAll ("no extra hardware") nothing is
         // saved: pollution is the point of that design variant.
         let shared_all = engine.bp().policy() == esp_branch::ContextPolicy::SharedAll;
-        let checkpoint = (!shared_all).then(|| engine.bp_mut().checkpoint_speculative());
+        let checkpointed = !shared_all;
+        if checkpointed {
+            match self.bp_checkpoint.as_mut() {
+                Some(cp) => engine.bp_mut().checkpoint_speculative_into(cp),
+                None => self.bp_checkpoint = Some(engine.bp_mut().checkpoint_speculative()),
+            }
+        }
         let base_millis = 1000 / engine.config().machine.width as u64
             + engine.config().timing.issue_extra_millis;
         let total_millis = stall.cycles * 1000;
@@ -326,9 +336,11 @@ impl<'w> EspState<'w> {
         }
         // Exiting ESP mode: flush the pipeline and restore (or, without
         // the checkpoint hardware, clear) the RAS.
-        match checkpoint {
-            Some(cp) => engine.bp_mut().restore_speculative(cp),
-            None => engine.bp_mut().clear_ras(),
+        if checkpointed {
+            let cp = self.bp_checkpoint.as_ref().expect("checkpoint taken above");
+            engine.bp_mut().restore_speculative_from(cp);
+        } else {
+            engine.bp_mut().clear_ras();
         }
         let utilized = (utilized_millis / 1000).min(stall.cycles);
         engine.note_pre_exec_overlap(utilized);
@@ -345,8 +357,187 @@ impl<'w> EspState<'w> {
         });
     }
 
-    /// Executes one instruction of slot `s` at time `t`.
+    /// Executes one instruction of slot `s` at time `t`. Packed cursors
+    /// take the raw-decode kernel path (no [`Instr`] materialised except
+    /// for branches); boxed streams keep the decoded path. Both perform
+    /// the same cachelet, bypass, predictor, and list calls in the same
+    /// order, so runs through either are byte-identical (asserted by
+    /// `packed_equivalence`).
     fn step_slot(&mut self, s: usize, t: Cycle, base_millis: u64, engine: &mut Engine) -> SlotStep {
+        match self.slots[s].cursor.as_ref().expect("step_slot on unstarted slot") {
+            SlotCursor::Packed(_) => self.step_slot_raw(s, t, base_millis, engine),
+            SlotCursor::Dyn(_) => self.step_slot_instr(s, t, base_millis, engine),
+        }
+    }
+
+    /// The raw-decode twin of [`EspState::step_slot_instr`] for packed
+    /// cursors — the window-spending half of the specialised kernels.
+    fn step_slot_raw(
+        &mut self,
+        s: usize,
+        t: Cycle,
+        base_millis: u64,
+        engine: &mut Engine,
+    ) -> SlotStep {
+        use esp_trace::kindbits::{TAG_COND, TAG_LOAD, TAG_MASK, TAG_STORE};
+
+        let features = self.features;
+        let side = self.side_index(s);
+        let measure = features.measure_working_sets;
+        let record_lists = s < 2 || features.ideal;
+
+        let slot = &mut self.slots[s];
+        let Some(SlotCursor::Packed(cursor)) = slot.cursor.as_mut() else {
+            unreachable!("step_slot_raw on a non-packed cursor");
+        };
+        let Some(rs) = cursor.next_raw() else {
+            return SlotStep::Finished;
+        };
+        let icount = cursor.executed() - 1;
+        let tag = rs.kind & TAG_MASK;
+        let mut millis = base_millis;
+
+        // ---- instruction fetch ------------------------------------------
+        let fetch_line = LineAddr::new(rs.pc >> 6);
+        if slot.last_fetch_line != Some(fetch_line) {
+            slot.last_fetch_line = Some(fetch_line);
+            if measure {
+                slot.iws.insert(fetch_line.as_u64());
+            }
+            if features.ilist && record_lists {
+                slot.ilist.record(fetch_line, icount);
+            }
+            if features.naive {
+                // Naive ESP fetches straight into L1-I/L2, polluting them.
+                let r = engine.mem_mut().access_instr(fetch_line, t);
+                millis += r.latency.saturating_sub(2) * 1000;
+                if r.llc_miss {
+                    return SlotStep::Blocked(t + r.latency, millis);
+                }
+            } else {
+                let result = match side {
+                    Some(i) => self.side_i[i].access(fetch_line, t),
+                    None => {
+                        let cs = if s == 0 { CacheletSlot::Esp1 } else { CacheletSlot::Esp2 };
+                        self.cachelet_i.access(cs, fetch_line, t)
+                    }
+                };
+                match result {
+                    AccessResult::Hit(_) => {}
+                    AccessResult::PartialHit(rem) => millis += rem * 1000,
+                    AccessResult::Miss => {
+                        let (lat, llc) = engine.mem().bypass_latency(fetch_line);
+                        let ready = if features.ideal { t } else { t + lat };
+                        match side {
+                            Some(i) => self.side_i[i].fill(fetch_line, t, ready, false),
+                            None => {
+                                let cs = if s == 0 { CacheletSlot::Esp1 } else { CacheletSlot::Esp2 };
+                                self.cachelet_i.fill(cs, fetch_line, t, ready);
+                            }
+                        }
+                        if llc {
+                            return SlotStep::Blocked(t + lat, millis);
+                        }
+                        millis += lat * 1000;
+                    }
+                }
+            }
+        }
+
+        // ---- branch ------------------------------------------------------
+        if tag >= TAG_COND {
+            let instr = rs.to_instr();
+            let ctx = if features.naive {
+                PredictorContext::Normal
+            } else if s == 0 {
+                PredictorContext::Esp1
+            } else {
+                PredictorContext::Esp2
+            };
+            let outcome = engine.bp_mut().predict_and_update(ctx, &instr);
+            millis += engine.bp().penalty_of(outcome) * 1000;
+            if features.blist && record_lists {
+                self.slots[s].blist.record(&instr, icount);
+            }
+        }
+
+        // ---- data --------------------------------------------------------
+        if tag == TAG_LOAD || tag == TAG_STORE {
+            let line = LineAddr::new(rs.op >> 6);
+            let is_store = tag == TAG_STORE;
+            let slot = &mut self.slots[s];
+            if measure {
+                slot.dws.insert(line.as_u64());
+            }
+            if features.dlist && record_lists {
+                slot.dlist.record(line, icount);
+            }
+            let overlapped = |slot: &mut Slot<'_>| {
+                let within = slot
+                    .last_data_llc_at
+                    .is_some_and(|at| icount.saturating_sub(at) < 96);
+                slot.last_data_llc_at = Some(icount);
+                within
+            };
+            if features.naive {
+                let r = engine.mem_mut().access_data(line, t, is_store);
+                if r.llc_miss {
+                    let slot = &mut self.slots[s];
+                    if !overlapped(slot) {
+                        return SlotStep::Blocked(t + r.latency, millis);
+                    }
+                } else {
+                    millis += r.latency.saturating_sub(2) * 1000;
+                }
+            } else {
+                let result = match side {
+                    Some(i) => self.side_d[i].access(line, t),
+                    None => {
+                        let cs = if s == 0 { CacheletSlot::Esp1 } else { CacheletSlot::Esp2 };
+                        self.cachelet_d.access(cs, line, t)
+                    }
+                };
+                match result {
+                    AccessResult::Hit(_) => {}
+                    AccessResult::PartialHit(rem) => millis += rem * 1000,
+                    AccessResult::Miss => {
+                        let (lat, llc) = engine.mem().bypass_latency(line);
+                        let ready = if features.ideal { t } else { t + lat };
+                        match side {
+                            Some(i) => self.side_d[i].fill(line, t, ready, false),
+                            None => {
+                                let cs = if s == 0 { CacheletSlot::Esp1 } else { CacheletSlot::Esp2 };
+                                self.cachelet_d.fill(cs, line, t, ready);
+                            }
+                        }
+                        if llc {
+                            let slot = &mut self.slots[s];
+                            if !overlapped(slot) {
+                                return SlotStep::Blocked(t + lat, millis);
+                            }
+                            // Overlapped miss: the fill proceeds in the
+                            // background while the pre-execution keeps
+                            // issuing, like any other OoO miss cluster.
+                        } else {
+                            millis += lat * 1000;
+                        }
+                    }
+                }
+            }
+        }
+
+        SlotStep::Ran(millis)
+    }
+
+    /// The decoded-instruction slot step, kept for boxed (non-packed)
+    /// workload streams.
+    fn step_slot_instr(
+        &mut self,
+        s: usize,
+        t: Cycle,
+        base_millis: u64,
+        engine: &mut Engine,
+    ) -> SlotStep {
         let features = self.features;
         let side = self.side_index(s);
         let measure = features.measure_working_sets;

@@ -94,6 +94,16 @@ impl ReplayState {
         engine.bp_mut().begin_replay();
     }
 
+    /// Whether every list cursor is exhausted — once true it stays true
+    /// until the next [`ReplayState::arm`], so callers may batch over
+    /// instruction runs without per-instruction ticks.
+    #[inline(always)]
+    pub fn drained(&self) -> bool {
+        self.ipos >= self.lists.ilist.len()
+            && self.dpos >= self.lists.dlist.len()
+            && self.bpos >= self.lists.blist.len()
+    }
+
     /// Replay progress tick. `icount` is the instructions retired so far
     /// in the current event (the looper prologue counts as negative lead:
     /// call with `icount = 0` during the prologue), `branches` the
@@ -103,10 +113,7 @@ impl ReplayState {
         // Fast path: most events have no lists (non-ESP configs arm with
         // `None`; drained cursors stay drained), and this runs once per
         // retired instruction.
-        if self.ipos >= self.lists.ilist.len()
-            && self.dpos >= self.lists.dlist.len()
-            && self.bpos >= self.lists.blist.len()
-        {
+        if self.drained() {
             return;
         }
         self.tick_slow(engine, icount, branches);
@@ -118,28 +125,30 @@ impl ReplayState {
             if rec.icount > icount + self.prefetch_lead {
                 break;
             }
-            for line in rec.lines() {
-                if self.ideal {
+            if self.ideal {
+                for line in rec.lines() {
                     engine.mem_mut().prefetch_instr_instant(line, now);
-                } else {
-                    engine.mem_mut().prefetch_instr(line, now, true);
                 }
-                self.stats.iprefetches += 1;
+            } else {
+                // One branch-free batched probe+fill for the whole run
+                // record instead of a scalar prefetch per line.
+                engine.mem_mut().prefetch_instr_run(rec.line, rec.run_len() as u64, now, true);
             }
+            self.stats.iprefetches += rec.run_len() as u64;
             self.ipos += 1;
         }
         while let Some(rec) = self.lists.dlist.get(self.dpos) {
             if rec.icount > icount + self.prefetch_lead {
                 break;
             }
-            for line in rec.lines() {
-                if self.ideal {
+            if self.ideal {
+                for line in rec.lines() {
                     engine.mem_mut().prefetch_data_instant(line, now);
-                } else {
-                    engine.mem_mut().prefetch_data(line, now, true);
                 }
-                self.stats.dprefetches += 1;
+            } else {
+                engine.mem_mut().prefetch_data_run(rec.line, rec.run_len() as u64, now, true);
             }
+            self.stats.dprefetches += rec.run_len() as u64;
             self.dpos += 1;
         }
         while self.bpos < self.lists.blist.len() && (self.bpos as u64) < branches + self.bp_lead

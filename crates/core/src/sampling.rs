@@ -37,12 +37,11 @@ use crate::replay::{ReplayLists, ReplayState, ReplayStats};
 use crate::report::RunReport;
 use crate::simulator::Simulator;
 use esp_energy::{ActivityCounts, EnergyModel};
-use esp_obs::{
-    CpiStack, CycleClass, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender,
-};
+use esp_obs::{CpiStack, EventSpan, NullProbe, Probe, RunSummary};
 use esp_stats::{ratio_estimate, RatioEstimate};
-use esp_trace::{ForkStream, Workload};
-use esp_uarch::{Engine, StallKind};
+use esp_trace::kindbits::{TAG_COND, TAG_LOAD, TAG_MASK, TAG_STORE};
+use esp_trace::{EventCursor, EventStream, ForkStream, Workload, INSTR_BYTES};
+use esp_uarch::{Engine, KernelParams, KindTable};
 
 /// Sampling-mode parameters: grain size and sampling period.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -285,6 +284,16 @@ impl SampleCtl {
         }
     }
 
+    /// Advances the grain clock by `n` detailed instructions that are
+    /// guaranteed to stay strictly inside the current grain (`n <
+    /// until_boundary()`). Equivalent to `n` calls of
+    /// [`SampleCtl::after_instr`] that each return early — the batched
+    /// kernel loop uses this for plain-ALU runs it charges in one step.
+    fn detailed_bulk(&mut self, n: u64) {
+        debug_assert!(n < self.until_boundary());
+        self.grain_acc += n;
+    }
+
     /// Advances the grain clock by one retired instruction and performs
     /// the kind transition when a grain boundary is crossed.
     fn after_instr(
@@ -457,6 +466,10 @@ impl Simulator {
         let mut pending_lists: Option<ReplayLists> = None;
         let events = workload.events();
         let line_bytes = self.config().engine.machine.hierarchy.l1i.line_bytes;
+        // Same once-per-run lowering as exact mode: detailed grains over
+        // packed workloads run the fused kernel through this table.
+        let kernel_params = engine.lower_kernel();
+        let kind_table = KindTable::<P>::new(&kernel_params);
         let n_looper = self.config().looper_instrs as u64;
         let mut iws = LineSet::new();
         let mut dws = LineSet::new();
@@ -498,7 +511,7 @@ impl Simulator {
                 Some(packed) => {
                     let mut stream =
                         packed.arena().event(record.id.index() as usize).actual_cursor();
-                    self.run_event_sampled(
+                    self.run_event_sampled_kernel(
                         &mut stream,
                         idx,
                         &mut engine,
@@ -508,6 +521,8 @@ impl Simulator {
                         &mut ctl,
                         measure_ws,
                         line_bytes,
+                        &kernel_params,
+                        &kind_table,
                         &mut iws,
                         &mut dws,
                     )
@@ -657,33 +672,93 @@ impl Simulator {
                 branches += 1;
             }
             if let Some(stall) = out.stall {
-                match &self.config().mode {
-                    SimMode::Baseline => {}
-                    SimMode::Runahead { data_only } => {
-                        if stall.kind == StallKind::DataLlcMiss {
-                            span_windows += 1;
-                            let ra = engine.run_runahead_cursor(
-                                stream.fork_stream(),
-                                stall.start,
-                                stall.cycles,
-                                *data_only,
-                            );
-                            probe.on_window(&WindowRecord {
-                                at: stall.start,
-                                stall_class: CycleClass::DcacheLlc,
-                                offered_cycles: stall.cycles,
-                                utilized_cycles: ra.utilized_cycles,
-                                instrs: ra.instrs,
-                                spender: WindowSpender::Runahead,
-                            });
+                self.spend_stall(stall, stream, idx, engine, esp, probe, &mut span_windows);
+            }
+            ctl.after_instr(engine, replay, esp);
+        }
+        span_windows
+    }
+
+    /// The fused-kernel twin of [`Simulator::run_event_sampled`], run for
+    /// packed workloads: detailed grains go through the same lowered
+    /// dispatch table and raw decode as the exact-mode kernel loop, with
+    /// plain-ALU runs batch-charged (clipped to stay strictly inside the
+    /// current grain, so the grain clock sees the same boundary
+    /// crossings); warming grains keep the bulk `warm_region` walk.
+    /// Performs the same engine/ctl call sequence as the generic loop, so
+    /// sampled reports stay byte-identical (asserted by
+    /// `packed_equivalence`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_event_sampled_kernel<P: Probe>(
+        &self,
+        stream: &mut EventCursor<'_>,
+        idx: usize,
+        engine: &mut Engine,
+        esp: &mut Option<EspState<'_>>,
+        replay: &mut ReplayState,
+        probe: &mut P,
+        ctl: &mut SampleCtl,
+        measure: bool,
+        line_bytes: u64,
+        kp: &KernelParams,
+        tbl: &KindTable<P>,
+        iws: &mut LineSet,
+        dws: &mut LineSet,
+    ) -> u64 {
+        let mut span_windows = 0u64;
+        let mut branches = 0u64;
+        iws.clear();
+        dws.clear();
+        loop {
+            if ctl.kind() == GrainKind::Warm {
+                let want = ctl.until_boundary();
+                let walked = stream.warm_region(want, line_bytes, engine);
+                engine.warm_retire(walked);
+                ctl.warm_bulk(walked, engine, replay, esp);
+                if walked < want {
+                    break;
+                }
+                continue;
+            }
+            replay.tick(engine, stream.executed(), branches);
+            // Grain batching, as in the exact kernel loop, additionally
+            // clipped below the grain boundary: the skipped `after_instr`
+            // calls would all have returned early, so the grain clock and
+            // measurement snapshots are unaffected.
+            let headroom = ctl.until_boundary().saturating_sub(1);
+            if headroom > 0 && replay.drained() {
+                let pc = stream.raw_pc();
+                let line = pc >> kp.line_shift;
+                if engine.on_fetch_line(line) {
+                    let line_end = (line + 1) << kp.line_shift;
+                    let max =
+                        (((line_end - pc) / INSTR_BYTES) as usize).min(headroom as usize);
+                    let n = stream.plain_run(max);
+                    if n > 0 {
+                        if measure {
+                            iws.insert(line);
                         }
-                    }
-                    SimMode::Esp(_) => {
-                        let esp = esp.as_mut().expect("ESP mode without ESP state");
-                        span_windows += 1;
-                        esp.spend_window_probed(engine, stall, idx, probe);
+                        stream.skip_plain(n);
+                        engine.charge_plain_alus(n as u64, probe);
+                        ctl.detailed_bulk(n as u64);
+                        continue;
                     }
                 }
+            }
+            let Some(rs) = stream.next_raw() else {
+                break;
+            };
+            let tag = rs.kind & TAG_MASK;
+            if measure {
+                iws.insert(rs.pc >> kp.line_shift);
+                if tag == TAG_LOAD || tag == TAG_STORE {
+                    dws.insert(rs.op >> kp.line_shift);
+                }
+            }
+            let out = engine.step_raw(kp, tbl, rs.kind, rs.pc, rs.op, probe);
+            branches += u64::from(tag >= TAG_COND);
+            if let Some(stall) = out.stall {
+                self.spend_stall(stall, stream, idx, engine, esp, probe, &mut span_windows);
             }
             ctl.after_instr(engine, replay, esp);
         }

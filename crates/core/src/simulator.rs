@@ -10,9 +10,10 @@ use esp_energy::{ActivityCounts, EnergyModel};
 use esp_mem::{HierarchySnapshot, MemOp};
 use esp_obs::{CycleClass, EventSpan, NullProbe, Probe, RunSummary, WindowRecord, WindowSpender};
 use esp_stats::BranchStats;
-use esp_trace::{ForkStream, Instr, Workload};
+use esp_trace::kindbits::{TAG_COND, TAG_LOAD, TAG_MASK, TAG_STORE};
+use esp_trace::{EventCursor, EventStream, ForkStream, Instr, Workload, INSTR_BYTES};
 use esp_types::Addr;
-use esp_uarch::{Engine, StallKind};
+use esp_uarch::{Engine, KernelParams, KindTable, StallKind};
 
 /// Code region of the synthetic looper (event-queue management): a small
 /// hot loop executed between events.
@@ -146,6 +147,10 @@ impl Simulator {
         let mut pending_lists = None;
         let events = workload.events();
         let line_bytes = self.config.engine.machine.hierarchy.l1i.line_bytes;
+        // Lower the configuration once: the packed event loop runs the
+        // fused kernel through this flat parameter block + kind table.
+        let kernel_params = engine.lower_kernel();
+        let kind_table = KindTable::<P>::new(&kernel_params);
         let n_looper = self.config.looper_instrs as u64;
         // Reused across events: cleared in O(1), allocation kept.
         let mut iws = LineSet::new();
@@ -169,15 +174,16 @@ impl Simulator {
             }
 
             // Dispatch once per event, not once per instruction: packed
-            // workloads run the loop over a concrete arena cursor (the
-            // decode inlines into the loop body), everything else over
-            // its boxed stream. Both instantiations perform the same
-            // engine-call sequence, so the outputs are bit-identical.
+            // workloads run the *fused kernel* loop over a concrete arena
+            // cursor (raw kind bytes through the lowered dispatch table),
+            // everything else the generic decoded loop over its boxed
+            // stream. Both instantiations perform the same engine-call
+            // sequence, so the outputs are bit-identical.
             span_windows += match workload.as_packed() {
                 Some(packed) => {
                     let mut stream =
                         packed.arena().event(record.id.index() as usize).actual_cursor();
-                    self.run_event(
+                    self.run_event_kernel(
                         &mut stream,
                         idx,
                         &mut engine,
@@ -185,7 +191,8 @@ impl Simulator {
                         &mut replay,
                         probe,
                         measure,
-                        line_bytes,
+                        &kernel_params,
+                        &kind_table,
                         &mut iws,
                         &mut dws,
                     )
@@ -294,36 +301,124 @@ impl Simulator {
                 branches += 1;
             }
             if let Some(stall) = out.stall {
-                match &self.config.mode {
-                    SimMode::Baseline => {}
-                    SimMode::Runahead { data_only } => {
-                        if stall.kind == StallKind::DataLlcMiss {
-                            span_windows += 1;
-                            let ra = engine.run_runahead_cursor(
-                                stream.fork_stream(),
-                                stall.start,
-                                stall.cycles,
-                                *data_only,
-                            );
-                            probe.on_window(&WindowRecord {
-                                at: stall.start,
-                                stall_class: CycleClass::DcacheLlc,
-                                offered_cycles: stall.cycles,
-                                utilized_cycles: ra.utilized_cycles,
-                                instrs: ra.instrs,
-                                spender: WindowSpender::Runahead,
-                            });
-                        }
-                    }
-                    SimMode::Esp(_) => {
-                        let esp = esp.as_mut().expect("ESP mode without ESP state");
-                        span_windows += 1;
-                        esp.spend_window_probed(engine, stall, idx, probe);
-                    }
-                }
+                self.spend_stall(stall, stream, idx, engine, esp, probe, &mut span_windows);
             }
         }
         span_windows
+    }
+
+    /// The fused-kernel twin of [`Simulator::run_event`], run for packed
+    /// workloads: decode→predict→access→charge in one pass over the raw
+    /// arena (no per-instruction [`Instr`] except for branches), with
+    /// runs of plain same-line ALU instructions batch-charged. Performs
+    /// the same engine-call sequence as the generic loop, so reports stay
+    /// byte-identical (asserted by `packed_equivalence`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_event_kernel<P: Probe>(
+        &self,
+        stream: &mut EventCursor<'_>,
+        idx: usize,
+        engine: &mut Engine,
+        esp: &mut Option<EspState<'_>>,
+        replay: &mut ReplayState,
+        probe: &mut P,
+        measure: bool,
+        kp: &KernelParams,
+        tbl: &KindTable<P>,
+        iws: &mut LineSet,
+        dws: &mut LineSet,
+    ) -> u64 {
+        let mut span_windows = 0u64;
+        let mut branches = 0u64;
+        iws.clear();
+        dws.clear();
+        loop {
+            replay.tick(engine, stream.executed(), branches);
+            // Grain batching: a run of plain ALU instructions on the
+            // already-fetched line performs no fetch, branch, data, or
+            // replay work — charge its base cycles in one accumulation.
+            // (Replay must be drained: tick_slow's prefetch timing
+            // depends on the per-instruction clock.)
+            if replay.drained() {
+                let pc = stream.raw_pc();
+                let line = pc >> kp.line_shift;
+                if engine.on_fetch_line(line) {
+                    let line_end = (line + 1) << kp.line_shift;
+                    let max = ((line_end - pc) / INSTR_BYTES) as usize;
+                    let n = stream.plain_run(max);
+                    if n > 0 {
+                        if measure {
+                            // Same line for the whole run; the set insert
+                            // is idempotent, as per-instruction inserts
+                            // would be.
+                            iws.insert(line);
+                        }
+                        stream.skip_plain(n);
+                        engine.charge_plain_alus(n as u64, probe);
+                        continue;
+                    }
+                }
+            }
+            let Some(rs) = stream.next_raw() else {
+                break;
+            };
+            let tag = rs.kind & TAG_MASK;
+            if measure {
+                iws.insert(rs.pc >> kp.line_shift);
+                if tag == TAG_LOAD || tag == TAG_STORE {
+                    dws.insert(rs.op >> kp.line_shift);
+                }
+            }
+            let out = engine.step_raw(kp, tbl, rs.kind, rs.pc, rs.op, probe);
+            branches += u64::from(tag >= TAG_COND);
+            if let Some(stall) = out.stall {
+                self.spend_stall(stall, stream, idx, engine, esp, probe, &mut span_windows);
+            }
+        }
+        span_windows
+    }
+
+    /// Spends one exposed LLC-miss stall window according to the mode —
+    /// shared by the generic and kernel event loops, exact and sampled.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn spend_stall<P: Probe, S: ForkStream>(
+        &self,
+        stall: esp_uarch::Stall,
+        stream: &S,
+        idx: usize,
+        engine: &mut Engine,
+        esp: &mut Option<EspState<'_>>,
+        probe: &mut P,
+        span_windows: &mut u64,
+    ) {
+        match &self.config.mode {
+            SimMode::Baseline => {}
+            SimMode::Runahead { data_only } => {
+                if stall.kind == StallKind::DataLlcMiss {
+                    *span_windows += 1;
+                    let ra = engine.run_runahead_cursor(
+                        stream.fork_stream(),
+                        stall.start,
+                        stall.cycles,
+                        *data_only,
+                    );
+                    probe.on_window(&WindowRecord {
+                        at: stall.start,
+                        stall_class: CycleClass::DcacheLlc,
+                        offered_cycles: stall.cycles,
+                        utilized_cycles: ra.utilized_cycles,
+                        instrs: ra.instrs,
+                        spender: WindowSpender::Runahead,
+                    });
+                }
+            }
+            SimMode::Esp(_) => {
+                let esp = esp.as_mut().expect("ESP mode without ESP state");
+                *span_windows += 1;
+                esp.spend_window_probed(engine, stall, idx, probe);
+            }
+        }
     }
 
     fn assemble_report(

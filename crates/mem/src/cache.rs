@@ -191,6 +191,32 @@ impl SetAssocCache {
         self.find_way(self.set_base(line), self.key(line)).is_some()
     }
 
+    /// Residency of the `n` consecutive lines starting at `start`, as a
+    /// bitmask (bit `k` set when `start + k` is resident) — the batched
+    /// form of [`SetAssocCache::probe`]. One contiguous tag-compare
+    /// sweep per line with no early exit, like the internal way lookup:
+    /// the whole run resolves with no data-dependent branches, where `n`
+    /// scalar probes would branch on every outcome. Like `probe`, it
+    /// disturbs no LRU state, statistics, or prefetched bits.
+    ///
+    /// Used by the replay prefetch kernels, which probe a whole I/D-list
+    /// run record ahead of filling it. `n` must be at most 64.
+    pub fn probe_run(&self, start: LineAddr, n: u64) -> u64 {
+        debug_assert!(n <= 64);
+        let mut mask = 0u64;
+        for k in 0..n {
+            let line = LineAddr::new(start.as_u64() + k);
+            let base = self.set_base(line);
+            let key = self.key(line);
+            let mut hit = 0u64;
+            for &t in &self.tags[base..base + self.ways] {
+                hit |= u64::from(t == key);
+            }
+            mask |= hit << k;
+        }
+        mask
+    }
+
     /// Inserts `line`, evicting the LRU way if the set is full. `ready` is
     /// the cycle at which the fill data arrives; `prefetched` marks
     /// prefetcher-initiated fills.

@@ -104,12 +104,18 @@ impl Cachelet {
         }
     }
 
-    fn ways_of(&self, slot: CacheletSlot) -> impl Iterator<Item = usize> {
-        let reserved = self.reserved_way;
-        (0..CACHELET_WAYS).filter(move |&w| match slot {
+    /// Whether way `w` belongs to `slot` under the current partition.
+    #[inline(always)]
+    fn owns(reserved: usize, slot: CacheletSlot, w: usize) -> bool {
+        match slot {
             CacheletSlot::Esp1 => w != reserved,
             CacheletSlot::Esp2 => w == reserved,
-        })
+        }
+    }
+
+    fn ways_of(&self, slot: CacheletSlot) -> impl Iterator<Item = usize> {
+        let reserved = self.reserved_way;
+        (0..CACHELET_WAYS).filter(move |&w| Self::owns(reserved, slot, w))
     }
 
     #[inline]
@@ -128,28 +134,30 @@ impl Cachelet {
         let tag = Self::tag(line);
         let stamp = self.bump_stamp();
         let hit_latency = self.hit_latency;
-        let ways: Vec<usize> = self.ways_of(slot).collect();
+        let reserved = self.reserved_way;
         let set = &mut self.sets[si];
-        for w in ways {
-            let way = &mut set[w];
+        let mut result = AccessResult::Miss;
+        for (w, way) in set.iter_mut().enumerate() {
+            if !Self::owns(reserved, slot, w) {
+                continue;
+            }
             if way.valid && way.tag == tag {
                 way.stamp = stamp;
-                let result = if way.ready.is_after(now) {
+                result = if way.ready.is_after(now) {
                     AccessResult::PartialHit((way.ready - now).max(hit_latency))
                 } else {
                     AccessResult::Hit(hit_latency)
                 };
-                let stats = self.stats_mut(slot);
-                match result {
-                    AccessResult::Hit(_) => stats.hits += 1,
-                    AccessResult::PartialHit(_) => stats.partial_hits += 1,
-                    AccessResult::Miss => unreachable!(),
-                }
-                return result;
+                break;
             }
         }
-        self.stats_mut(slot).misses += 1;
-        AccessResult::Miss
+        let stats = self.stats_mut(slot);
+        match result {
+            AccessResult::Hit(_) => stats.hits += 1,
+            AccessResult::PartialHit(_) => stats.partial_hits += 1,
+            AccessResult::Miss => stats.misses += 1,
+        }
+        result
     }
 
     /// Fills `line` into a slot's partition, evicting its LRU way.
@@ -157,19 +165,30 @@ impl Cachelet {
         let si = Self::set_index(line);
         let tag = Self::tag(line);
         let stamp = self.bump_stamp();
-        let ways: Vec<usize> = self.ways_of(slot).collect();
+        let reserved = self.reserved_way;
         let set = &mut self.sets[si];
-        if let Some(&w) = ways.iter().find(|&&w| set[w].valid && set[w].tag == tag) {
-            set[w].stamp = stamp;
-            if ready < set[w].ready {
-                set[w].ready = ready;
+        // One pass finds both the resident way (if any) and the LRU
+        // victim among the slot's ways.
+        let mut victim = usize::MAX;
+        let mut best = u64::MAX;
+        for (w, way) in set.iter_mut().enumerate() {
+            if !Self::owns(reserved, slot, w) {
+                continue;
             }
-            return;
+            if way.valid && way.tag == tag {
+                way.stamp = stamp;
+                if ready < way.ready {
+                    way.ready = ready;
+                }
+                return;
+            }
+            let k = if way.valid { way.stamp } else { 0 };
+            if k < best {
+                best = k;
+                victim = w;
+            }
         }
-        let victim = ways
-            .into_iter()
-            .min_by_key(|&w| if set[w].valid { set[w].stamp } else { 0 })
-            .expect("slot partitions are never empty");
+        assert!(victim != usize::MAX, "slot partitions are never empty");
         set[victim] = Line { tag, valid: true, ready, stamp };
     }
 

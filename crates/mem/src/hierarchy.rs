@@ -344,6 +344,109 @@ impl MemoryHierarchy {
         issued
     }
 
+    /// The batched body shared by the run-prefetch entry points: probes
+    /// the whole run's residency in L1 and L2 with two branch-free tag
+    /// sweeps, then fills the non-redundant lines. Returns the issued
+    /// bitmask (bit `k` set when `start + k` was non-redundant).
+    ///
+    /// Equivalent to `n` scalar [`Self::prefetch_via`] calls because
+    /// consecutive lines occupy distinct sets whenever `n` is at most
+    /// each cache's set count: no fill in the run can evict or install a
+    /// later line of the same run, so probing up front observes exactly
+    /// what each scalar call would have. Callers enforce the bound.
+    fn prefetch_run_via(
+        l1: &mut SetAssocCache,
+        l2: &mut SetAssocCache,
+        mem_latency: u64,
+        start: LineAddr,
+        n: u64,
+        now: Cycle,
+        into_l1: bool,
+    ) -> u64 {
+        let l1_mask = l1.probe_run(start, n);
+        let l2_mask = l2.probe_run(start, n);
+        let mut issued_mask = 0u64;
+        for k in 0..n {
+            let in_l1 = (l1_mask >> k) & 1 != 0;
+            if in_l1 && into_l1 {
+                continue;
+            }
+            let line = LineAddr::new(start.as_u64() + k);
+            let in_l2 = (l2_mask >> k) & 1 != 0;
+            let latency = if in_l1 || in_l2 {
+                l2.config().hit_latency
+            } else {
+                mem_latency
+            };
+            let ready = now + latency;
+            if !in_l2 {
+                l2.fill(line, now, ready, true);
+            }
+            if into_l1 && !in_l1 {
+                l1.fill(line, now, ready, true);
+            }
+            issued_mask |= 1 << k;
+        }
+        issued_mask
+    }
+
+    /// Batched [`Self::prefetch_instr`] over the `n` consecutive lines
+    /// starting at `start` — one replay I-list run record. Contents,
+    /// statistics, and the op log come out exactly as `n` scalar calls
+    /// would leave them (asserted on randomized streams in this crate's
+    /// tests); runs too long for the batch-validity bound fall back to
+    /// the scalar loop. Returns the number of non-redundant requests.
+    pub fn prefetch_instr_run(&mut self, start: LineAddr, n: u64, now: Cycle, into_l1: bool) -> u64 {
+        let bound = self.l1i.config().sets().min(self.l2.config().sets()).min(64);
+        if n > bound {
+            return (0..n)
+                .map(|k| {
+                    u64::from(self.prefetch_instr(LineAddr::new(start.as_u64() + k), now, into_l1))
+                })
+                .sum();
+        }
+        let mask = Self::prefetch_run_via(
+            &mut self.l1i,
+            &mut self.l2,
+            self.mem_latency,
+            start,
+            n,
+            now,
+            into_l1,
+        );
+        for k in 0..n {
+            let line = LineAddr::new(start.as_u64() + k);
+            self.record(MemOp::PrefetchInstr { line, now, into_l1, issued: (mask >> k) & 1 != 0 });
+        }
+        u64::from(mask.count_ones())
+    }
+
+    /// Data-side twin of [`Self::prefetch_instr_run`].
+    pub fn prefetch_data_run(&mut self, start: LineAddr, n: u64, now: Cycle, into_l1: bool) -> u64 {
+        let bound = self.l1d.config().sets().min(self.l2.config().sets()).min(64);
+        if n > bound {
+            return (0..n)
+                .map(|k| {
+                    u64::from(self.prefetch_data(LineAddr::new(start.as_u64() + k), now, into_l1))
+                })
+                .sum();
+        }
+        let mask = Self::prefetch_run_via(
+            &mut self.l1d,
+            &mut self.l2,
+            self.mem_latency,
+            start,
+            n,
+            now,
+            into_l1,
+        );
+        for k in 0..n {
+            let line = LineAddr::new(start.as_u64() + k);
+            self.record(MemOp::PrefetchData { line, now, into_l1, issued: (mask >> k) & 1 != 0 });
+        }
+        u64::from(mask.count_ones())
+    }
+
     /// An idealised prefetch that completes instantly (used by the "ideal
     /// ESP" configurations of Figs. 11a/11b, which assume perfectly
     /// timely prefetches).

@@ -85,7 +85,7 @@ pub struct Instr {
 }
 
 /// The architectural instruction width in bytes.
-pub(crate) const INSTR_BYTES: u64 = 4;
+pub const INSTR_BYTES: u64 = 4;
 
 impl Instr {
     /// Creates an ALU instruction.

@@ -52,9 +52,10 @@ mod packed;
 mod record;
 mod stream;
 
-pub use instr::{Instr, InstrKind};
+pub use instr::{Instr, InstrKind, INSTR_BYTES};
 pub use packed::{
-    EventCursor, PackedCursor, PackedEvent, PackedTrace, PackedWorkload, TraceArena, WarmSink,
+    kindbits, EventCursor, PackedCursor, PackedEvent, PackedTrace, PackedWorkload, RawStep,
+    TraceArena, WarmSink,
 };
 pub use record::EventRecord;
 pub use stream::{record_stream, EventStream, ForkStream, VecEventStream, Workload};

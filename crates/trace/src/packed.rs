@@ -77,22 +77,80 @@ pub trait WarmSink {
     fn warm_branch(&mut self, instr: &Instr);
 }
 
-/// Discriminant values of the kind byte (low three bits).
-const TAG_ALU: u8 = 0;
-const TAG_LOAD: u8 = 1;
-const TAG_STORE: u8 = 2;
-const TAG_COND: u8 = 3;
-const TAG_IND_BRANCH: u8 = 4;
-const TAG_IND_CALL: u8 = 5;
-const TAG_CALL: u8 = 6;
-const TAG_RET: u8 = 7;
-const TAG_MASK: u8 = 0b0000_0111;
-/// Kind-byte flag: `chained` for loads, `taken` for conditional branches.
-const FLAG_BIT: u8 = 0b0000_1000;
-/// Kind-byte flag: this instruction's pc does not follow from the
-/// previous instruction's `next_pc`; an explicit pc operand precedes the
-/// instruction's own operand in the operand array.
-const EXPLICIT_PC: u8 = 0b0001_0000;
+/// The kind-byte encoding of a [`PackedTrace`], shared with the
+/// specialised simulation kernels in `esp-uarch`: the kernel's flat
+/// per-kind dispatch table is indexed directly by the low tag bits, so
+/// the encoding is part of the crate's public contract.
+pub mod kindbits {
+    /// Plain ALU work (no operand slot).
+    pub const TAG_ALU: u8 = 0;
+    /// A load; the flag bit carries `chained`.
+    pub const TAG_LOAD: u8 = 1;
+    /// A store.
+    pub const TAG_STORE: u8 = 2;
+    /// A conditional branch; the flag bit carries `taken`.
+    pub const TAG_COND: u8 = 3;
+    /// An indirect branch.
+    pub const TAG_IND_BRANCH: u8 = 4;
+    /// An indirect call.
+    pub const TAG_IND_CALL: u8 = 5;
+    /// A direct call.
+    pub const TAG_CALL: u8 = 6;
+    /// A return.
+    pub const TAG_RET: u8 = 7;
+    /// Low bits holding the discriminant tag.
+    pub const TAG_MASK: u8 = 0b0000_0111;
+    /// Kind-byte flag: `chained` for loads, `taken` for conditional
+    /// branches.
+    pub const FLAG_BIT: u8 = 0b0000_1000;
+    /// Kind-byte flag: this instruction's pc does not follow from the
+    /// previous instruction's `next_pc`; an explicit pc operand precedes
+    /// the instruction's own operand in the operand array.
+    pub const EXPLICIT_PC: u8 = 0b0001_0000;
+}
+use kindbits::{
+    EXPLICIT_PC, FLAG_BIT, TAG_ALU, TAG_CALL, TAG_COND, TAG_IND_BRANCH, TAG_IND_CALL, TAG_LOAD,
+    TAG_MASK, TAG_RET, TAG_STORE,
+};
+
+/// One instruction decoded to its packed essentials: the raw kind byte,
+/// the re-derived pc, and the single operand word (data address for
+/// loads/stores, branch target for control flow, 0 for ALUs). The
+/// specialised kernels consume this instead of a 32-byte [`Instr`]; the
+/// mapping back to an `Instr` is total and lossless (see
+/// [`PackedCursor::next`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawStep {
+    /// The kind byte ([`kindbits`] tag + flags as stored).
+    pub kind: u8,
+    /// The instruction's program counter.
+    pub pc: u64,
+    /// The operand word; 0 for ALU instructions.
+    pub op: u64,
+}
+
+impl RawStep {
+    /// The total mapping back to a decoded [`Instr`] — exactly what
+    /// [`PackedCursor::next`] would have produced for this step. The
+    /// specialised kernels use it to materialise instructions only where
+    /// a consumer needs the full form (the branch predictor).
+    #[inline(always)]
+    pub fn to_instr(&self) -> Instr {
+        let pc = Addr::new(self.pc);
+        let op = Addr::new(self.op);
+        let flag = self.kind & FLAG_BIT != 0;
+        match self.kind & TAG_MASK {
+            TAG_ALU => Instr::alu(pc),
+            TAG_LOAD => Instr::load(pc, op, flag),
+            TAG_STORE => Instr::store(pc, op),
+            TAG_COND => Instr::cond_branch(pc, flag, op),
+            TAG_IND_BRANCH => Instr::indirect(pc, op),
+            TAG_IND_CALL => Instr::indirect_call(pc, op),
+            TAG_CALL => Instr::call(pc, op),
+            _ => Instr::ret(pc, op),
+        }
+    }
+}
 
 /// One instruction stream in struct-of-arrays form.
 ///
@@ -289,6 +347,74 @@ impl PackedCursor<'_> {
         self.pos as u64
     }
 
+    /// Decodes the next instruction into its packed essentials without
+    /// materialising an [`Instr`], advancing the cursor exactly as
+    /// [`PackedCursor::next`] would. The kernel-specialised simulation
+    /// loops consume this form; `RawStep` and `Instr` are related by a
+    /// total, lossless mapping, so a raw walk and a decoded walk observe
+    /// the same stream.
+    #[inline(always)]
+    pub fn next_raw(&mut self) -> Option<RawStep> {
+        let kind = *self.trace.kinds.get(self.pos)?;
+        if kind & EXPLICIT_PC != 0 {
+            self.pc = self.trace.ops[self.op_idx];
+            self.op_idx += 1;
+        }
+        let pc = self.pc;
+        let tag = kind & TAG_MASK;
+        let op = if tag == TAG_ALU {
+            0
+        } else {
+            let v = self.trace.ops[self.op_idx];
+            self.op_idx += 1;
+            v
+        };
+        self.pos += 1;
+        // Mirror `Instr::next_pc`: sequential for ALU/load/store and
+        // not-taken conditionals, the target otherwise.
+        self.pc = if tag < TAG_COND || (tag == TAG_COND && kind & FLAG_BIT == 0) {
+            pc + INSTR_BYTES
+        } else {
+            op
+        };
+        Some(RawStep { kind, pc, op })
+    }
+
+    /// The pc the next decoded instruction would carry, assuming its kind
+    /// byte has no [`kindbits::EXPLICIT_PC`] flag (plain-run batching
+    /// checks the kind bytes first, which excludes explicit-pc entries).
+    #[inline(always)]
+    pub fn raw_pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The length of the run of *plain* ALU instructions (kind byte
+    /// exactly [`kindbits::TAG_ALU`]: no flags, no explicit pc) starting
+    /// at the cursor, capped at `max`. The scan is a branch-free byte
+    /// sweep over the kind array — the grain-batching probe of the
+    /// specialised kernels.
+    #[inline(always)]
+    pub fn plain_alu_run(&self, max: usize) -> usize {
+        let ks = &self.trace.kinds[self.pos.min(self.trace.kinds.len())..];
+        let lim = ks.len().min(max);
+        let mut n = 0;
+        while n < lim && ks[n] == TAG_ALU {
+            n += 1;
+        }
+        n
+    }
+
+    /// Skips `n` instructions previously sized with
+    /// [`PackedCursor::plain_alu_run`]: plain ALUs consume no operand
+    /// slot and advance the pc sequentially, so the cursor state after
+    /// the skip equals `n` calls of [`PackedCursor::next`].
+    #[inline(always)]
+    pub fn skip_plain(&mut self, n: usize) {
+        debug_assert!(self.trace.kinds[self.pos..self.pos + n].iter().all(|&k| k == TAG_ALU));
+        self.pos += n;
+        self.pc += n as u64 * INSTR_BYTES;
+    }
+
     /// Bounded, resumable functional-warming walk: feeds up to
     /// `max_instrs` instructions into `sink` straight off the packed
     /// arrays — no [`Instr`] is materialised except for branches — and
@@ -437,6 +563,47 @@ pub struct EventCursor<'a> {
     base: u64,
     speculative: bool,
     in_tail: bool,
+}
+
+impl EventCursor<'_> {
+    /// Raw twin of [`EventStream::next_instr`] for the specialised
+    /// kernels: same divergence handling, no [`Instr`] materialised.
+    #[inline(always)]
+    pub fn next_raw(&mut self) -> Option<RawStep> {
+        if self.speculative && !self.in_tail && Some(self.seg.position()) == self.event.diverge_at
+        {
+            self.base = self.seg.position();
+            self.seg = self.event.spec_tail.cursor();
+            self.in_tail = true;
+        }
+        self.seg.next_raw()
+    }
+
+    /// See [`PackedCursor::raw_pc`].
+    #[inline(always)]
+    pub fn raw_pc(&self) -> u64 {
+        self.seg.raw_pc()
+    }
+
+    /// See [`PackedCursor::plain_alu_run`]; a speculative cursor's run is
+    /// additionally clipped at the divergence point so batching never
+    /// skips the segment switch.
+    #[inline(always)]
+    pub fn plain_run(&self, max: usize) -> usize {
+        if self.speculative && !self.in_tail {
+            if let Some(d) = self.event.diverge_at {
+                let to_diverge = (d - self.seg.position()) as usize;
+                return self.seg.plain_alu_run(max.min(to_diverge));
+            }
+        }
+        self.seg.plain_alu_run(max)
+    }
+
+    /// See [`PackedCursor::skip_plain`].
+    #[inline(always)]
+    pub fn skip_plain(&mut self, n: usize) {
+        self.seg.skip_plain(n);
+    }
 }
 
 impl EventStream for EventCursor<'_> {

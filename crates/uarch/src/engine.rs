@@ -119,19 +119,19 @@ pub struct EngineStats {
 /// just-charged idle window was, so a pre-execution scheme can spend it.
 #[derive(Clone, Debug)]
 pub struct Engine {
-    cfg: EngineConfig,
-    mem: MemoryHierarchy,
-    bp: BranchPredictor,
-    nl_i: NextLineInstr,
-    dcu: DcuNextLine,
-    stride: StridePrefetcher,
-    now: Cycle,
-    millis: u64,
-    base_millis_per_instr: u64,
-    last_fetch_line: Option<LineAddr>,
-    last_data_llc_miss_at: Option<u64>,
-    stack: CpiStack,
-    stats: EngineStats,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) mem: MemoryHierarchy,
+    pub(crate) bp: BranchPredictor,
+    pub(crate) nl_i: NextLineInstr,
+    pub(crate) dcu: DcuNextLine,
+    pub(crate) stride: StridePrefetcher,
+    pub(crate) now: Cycle,
+    pub(crate) millis: u64,
+    pub(crate) base_millis_per_instr: u64,
+    pub(crate) last_fetch_line: Option<LineAddr>,
+    pub(crate) last_data_llc_miss_at: Option<u64>,
+    pub(crate) stack: CpiStack,
+    pub(crate) stats: EngineStats,
     warm: WarmStats,
 }
 
@@ -267,7 +267,7 @@ impl Engine {
         self.stats.runahead_instrs += instrs;
     }
 
-    fn charge_base(&mut self) {
+    pub(crate) fn charge_base(&mut self) {
         self.millis += self.base_millis_per_instr;
         let whole = self.millis / 1000;
         self.millis %= 1000;

@@ -49,10 +49,12 @@
 
 mod config;
 mod engine;
+mod kernel;
 mod perfect;
 mod runahead;
 
 pub use config::{EngineConfig, MachineConfig, TimingParams};
 pub use engine::{CycleBreakdown, Engine, EngineStats, Stall, StallKind, StepOutcome, WarmStats};
+pub use kernel::{KernelParams, KindTable};
 pub use perfect::PerfectFlags;
 pub use runahead::RunaheadOutcome;

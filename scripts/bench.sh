@@ -10,7 +10,11 @@
 # skipped with a JSON note when only one core is visible), pass 3 warm
 # in statistical-sampling mode with a sampled-vs-exact CPI error
 # cross-check. Exact and sampled throughput both land in
-# BENCH_repro.json. Each pass is best-of-N (default 3) because the work
+# BENCH_repro.json, as sims/s and as MIPS (instructions simulated —
+# retired plus speculative — per wall-second; the sampled block reports
+# *effective* MIPS and is tagged with the scale its error was measured
+# at, since sampling error shrinks as more periods fit the workload).
+# Each pass is best-of-N (default 3) because the work
 # is deterministic, so the minimum is the least-disturbed measurement;
 # see docs/PERFORMANCE.md for the protocol. Extra arguments are
 # forwarded to `repro` after the defaults, so they win.
