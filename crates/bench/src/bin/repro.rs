@@ -7,7 +7,7 @@
 //! repro explain <benchmark ...>
 //! repro [--scale N] [--seed S] [--fuzz N] check
 //! repro [--scale N] [--seed S] dump
-//! repro [--scale N] [--seed S] [--threads T] [--force] [--repeat N] bench
+//! repro [--scale N] [--seed S] [--threads T] [--intra-threads K] [--force] [--repeat N] bench
 //! ```
 //!
 //! `--scale` is the per-benchmark instruction budget (default 400 000);
@@ -42,12 +42,15 @@
 //! Performance (see `docs/PERFORMANCE.md`): `bench` runs the full
 //! evaluation matrix three times — cold at one thread, warm at
 //! `--threads` (skipped, with a JSON note, when only one core is
-//! visible), and warm in statistical-sampling mode — and writes a
-//! `BENCH_repro.json` with per-phase wall times
+//! visible), and warm in statistical-sampling mode — then a fourth,
+//! intra-run pass that chunks each profile's *single* baseline run
+//! across `--intra-threads` workers (`docs/PARALLELISM.md`), and
+//! writes a `BENCH_repro.json` with per-phase wall times
 //! (generate/materialise/simulate), arena resident bytes, exact and
-//! sampled throughput, and the sampled run's measured CPI error
-//! against exact ground truth. `scripts/bench.sh` wraps the documented
-//! scale-600000 invocation.
+//! sampled throughput, the sampled run's measured CPI error against
+//! exact ground truth, and the intra pass's chunk/conflict accounting
+//! with serial-vs-chunked single-run throughput. `scripts/bench.sh`
+//! wraps the documented scale-600000 invocation.
 //!
 //! Sampling (the `esp-sample` engine, `--sample-period` /
 //! `--sample-grain`): any figure run can trade exactness for speed by
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
     let mut scale: u64 = 400_000;
     let mut seed: u64 = 42;
     let mut threads: Option<usize> = None;
+    let mut intra_threads: Option<usize> = None;
     let mut trace: Option<std::path::PathBuf> = None;
     let mut cpi_stack = false;
     let mut force = false;
@@ -88,6 +92,10 @@ fn main() -> ExitCode {
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => threads = Some(v),
                 _ => return usage("--threads needs a positive integer"),
+            },
+            "--intra-threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => intra_threads = Some(v),
+                _ => return usage("--intra-threads needs a positive integer"),
             },
             "--trace" => match args.next() {
                 Some(p) => trace = Some(p.into()),
@@ -147,7 +155,16 @@ fn main() -> ExitCode {
         Some("dump") => return dump(scale, seed),
         Some("check") => return check(scale, seed, fuzz_cases),
         Some("bench") => {
-            return bench(scale, seed, threads, force, repeat, sample_grain, sample_period)
+            return bench(
+                scale,
+                seed,
+                threads,
+                intra_threads,
+                force,
+                repeat,
+                sample_grain,
+                sample_period,
+            )
         }
         _ => {}
     }
@@ -341,10 +358,12 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
 /// exact same deterministic work, so they are directly comparable). All
 /// passes and the per-phase wall times land in `BENCH_repro.json`
 /// (guarded against cross-scale overwrite, as for figure runs).
+#[allow(clippy::too_many_arguments)]
 fn bench(
     scale: u64,
     seed: u64,
     threads: Option<usize>,
+    intra_threads: Option<usize>,
     force: bool,
     repeat: usize,
     sample_grain: u64,
@@ -473,6 +492,61 @@ fn bench(
     let mean_err = errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64;
     eprintln!("# sampled error: max |{max_err:.2}|%, mean |{mean_err:.2}|% over {} cells", errs.len());
 
+    // Pass 4: intra-run (single-run) scaling — the second parallelism
+    // axis (docs/PARALLELISM.md). Each profile's single run is chunked
+    // across `--intra-threads` workers and merged deterministically;
+    // the pass records chunk size, conflict accounting, and serial vs
+    // chunk-parallel sims/s. On a 1-core host the accounting (a pure
+    // function of the thread count) is still meaningful, but the wall
+    // times are not a scaling measurement — noted in the JSON.
+    let threads_intra = intra_threads.unwrap_or(if cores > 1 { cores } else { 4 });
+    eprintln!(
+        "# bench pass 4: intra-run scaling, {threads_intra} chunk workers, best of {repeat}..."
+    );
+    let intra = exact.intra_scaling(threads_intra, repeat);
+    let intra_rate = intra.conflict_rate();
+    eprintln!(
+        "# pass 4: {} runs, {} events, {} chunks ({} accepted, {} repaired, \
+         conflict rate {:.2}); serial {:.2}s vs intra {:.2}s",
+        intra.runs,
+        intra.events,
+        intra.chunks,
+        intra.accepted,
+        intra.repaired,
+        intra_rate,
+        intra.seconds_1t,
+        intra.seconds_nt,
+    );
+    let intra_conflicts = intra
+        .conflicts
+        .iter()
+        .map(|(r, n)| format!("\"{r}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let intra_note = if cores > 1 {
+        String::new()
+    } else {
+        format!("\n    \"note\": \"wall times measured on {cores} visible core; not a scaling number\",")
+    };
+    let intra_json = format!(
+        "\n  \"intra\": {{\"threads\": {threads_intra}, \"runs\": {}, \"events\": {}, \
+         \"events_per_chunk\": {:.1},\n    \
+         \"chunks\": {}, \"accepted\": {}, \"repaired\": {}, \"conflict_rate\": {intra_rate:.3},\n    \
+         \"conflicts\": {{{intra_conflicts}}},{intra_note}\n    \
+         \"seconds_1t\": {:.3}, \"seconds_nt\": {:.3}, \
+         \"sims_per_sec_1t\": {:.3}, \"sims_per_sec_nt\": {:.3}}},",
+        intra.runs,
+        intra.events,
+        intra.events as f64 / intra.chunks.max(1) as f64,
+        intra.chunks,
+        intra.accepted,
+        intra.repaired,
+        intra.seconds_1t,
+        intra.seconds_nt,
+        intra.runs as f64 / intra.seconds_1t.max(1e-9),
+        intra.runs as f64 / intra.seconds_nt.max(1e-9),
+    );
+
     let nt_json = match (&best_nt, &nt_note) {
         (Some((total_nt, phases_nt)), _) => format!(
             "\n  \"threads_nt\": {threads_nt},\n  \"total_seconds_nt\": {total_nt:.3},\n  \
@@ -490,7 +564,7 @@ fn bench(
     // workload), so its numbers are only meaningful next to their scale.
     let effective_mips = sampled.instructions_simulated() as f64 / total_s.max(1e-9) / 1e6;
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,{nt_json}\n  \
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,{nt_json}{intra_json}\n  \
          \"repeat\": {repeat},\n  \"sims_run\": {sims},\n  \
          \"instructions_simulated\": {instrs},\n  \
          \"total_seconds\": {total_1t:.3},\n  \
@@ -610,7 +684,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--scale N] [--seed S] [--threads T] [--trace FILE.jsonl] [--cpi-stack] \
+        "usage: repro [--scale N] [--seed S] [--threads T] [--intra-threads K] \
+         [--trace FILE.jsonl] [--cpi-stack] \
          [--force] [--fuzz N] [--repeat N] [--sample-period P] [--sample-grain G] \
          <all | fig3 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 | ablate \
          | explain BENCHMARK... | check | dump | bench>\n\
@@ -623,9 +698,10 @@ fn usage(err: &str) -> ExitCode {
          check runs the differential oracle + a --fuzz N seeded sweep (docs/TESTING.md);\n\
          dump prints every profile's RunReports for cross-process determinism checks;\n\
          bench runs the full matrix cold at 1 thread, warm at --threads (skipped on a\n\
-         1-core machine), then warm in sampled mode with an error cross-check (each\n\
+         1-core machine), warm in sampled mode with an error cross-check, then an\n\
+         intra-run pass chunking each single run over --intra-threads workers (each\n\
          pass best of --repeat, default 3) and records all passes in BENCH_repro.json\n\
-         (docs/PERFORMANCE.md)"
+         (docs/PERFORMANCE.md, docs/PARALLELISM.md)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

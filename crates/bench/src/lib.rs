@@ -22,4 +22,4 @@ pub mod explain;
 pub mod figures;
 pub mod runner;
 
-pub use runner::{ConfigKey, FigureReport, PhaseSeconds, Runner};
+pub use runner::{ConfigKey, FigureReport, IntraScaling, PhaseSeconds, Runner};

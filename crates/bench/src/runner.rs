@@ -211,6 +211,44 @@ pub struct PhaseSeconds {
     pub simulate: f64,
 }
 
+/// Accounting from one intra-run scaling pass ([`Runner::intra_scaling`]):
+/// chunk/conflict totals at the parallel thread count plus the best wall
+/// times of the serial and chunk-parallel sweeps over the same runs.
+#[derive(Clone, Debug, Default)]
+pub struct IntraScaling {
+    /// Worker threads the chunk-parallel sweep used per run.
+    pub threads: usize,
+    /// Single runs measured (one per benchmark profile).
+    pub runs: u64,
+    /// Events across all measured runs.
+    pub events: u64,
+    /// Chunks across all runs (serial fallbacks count 1).
+    pub chunks: u64,
+    /// Chunks accepted at merge (chunk 0 of every run always is).
+    pub accepted: u64,
+    /// Chunks re-simulated serially from the authoritative state.
+    pub repaired: u64,
+    /// Why chunks conflicted: `(reason, count)`, aggregated over runs.
+    pub conflicts: Vec<(&'static str, u64)>,
+    /// Best wall-clock seconds for the serial sweep.
+    pub seconds_1t: f64,
+    /// Best wall-clock seconds for the chunk-parallel sweep.
+    pub seconds_nt: f64,
+}
+
+impl IntraScaling {
+    /// Fraction of speculative chunks (all but each run's chunk 0) that
+    /// conflicted and took the repair path.
+    pub fn conflict_rate(&self) -> f64 {
+        let speculative = self.chunks.saturating_sub(self.runs);
+        if speculative == 0 {
+            0.0
+        } else {
+            self.repaired as f64 / speculative as f64
+        }
+    }
+}
+
 /// A caching simulation runner: one workload per benchmark profile, one
 /// memoised [`RunReport`] per (profile, configuration), with parallel
 /// batch execution of whatever the figures plan ahead via
@@ -365,6 +403,53 @@ impl Runner {
     /// Heap bytes resident in the packed trace arenas of all profiles.
     pub fn arena_resident_bytes(&self) -> u64 {
         self.packed.iter().map(|p| p.resident_bytes()).sum()
+    }
+
+    /// Measures intra-run (single-run) scaling: every profile's packed
+    /// workload is simulated under the baseline configuration twice —
+    /// serially, then chunk-parallel across `threads` workers
+    /// (`Simulator::run_intra`, which is byte-identical to the serial
+    /// run) — each sweep repeated `repeat` times with the best wall time
+    /// kept. Chunk/conflict accounting is aggregated from the parallel
+    /// sweep; the baseline configuration is used because it is the
+    /// accept-eligible mode (ESP configurations always repair — see
+    /// `docs/PARALLELISM.md`).
+    pub fn intra_scaling(&self, threads: usize, repeat: usize) -> IntraScaling {
+        let mut out = IntraScaling {
+            threads,
+            seconds_1t: f64::INFINITY,
+            seconds_nt: f64::INFINITY,
+            ..IntraScaling::default()
+        };
+        let cfg = ConfigKey::Base.config();
+        for _ in 0..repeat.max(1) {
+            let t = Instant::now();
+            for w in &self.packed {
+                let _ = Simulator::new(cfg.clone()).run(w.as_ref());
+            }
+            out.seconds_1t = out.seconds_1t.min(t.elapsed().as_secs_f64());
+        }
+        for rep in 0..repeat.max(1) {
+            let t = Instant::now();
+            for w in &self.packed {
+                let run = Simulator::new(cfg.clone()).run_intra(w.as_ref(), threads);
+                if rep == 0 {
+                    out.runs += 1;
+                    out.events += run.stats.events as u64;
+                    out.chunks += run.stats.chunks as u64;
+                    out.accepted += run.stats.accepted as u64;
+                    out.repaired += run.stats.repaired as u64;
+                    for (reason, n) in &run.stats.conflicts {
+                        match out.conflicts.iter_mut().find(|(r, _)| r == reason) {
+                            Some((_, total)) => *total += n,
+                            None => out.conflicts.push((reason, *n)),
+                        }
+                    }
+                }
+            }
+            out.seconds_nt = out.seconds_nt.min(t.elapsed().as_secs_f64());
+        }
+        out
     }
 
     /// Executes every not-yet-cached `(profile, key)` pair of the plan

@@ -27,6 +27,12 @@
 //! [`RunReport`]. The default exact mode shares none of this code path:
 //! `Simulator::run` is untouched and stays byte-identical.
 //!
+//! The same warming walk (stat-free cache/predictor/prefetcher/replay
+//! updates) is reused by the intra-run parallel mode
+//! ([`crate::intra`]) to predict chunk-entry state — there it feeds a
+//! behavioural-equality check instead of an estimator, so sampling
+//! stays the only mode that returns an estimate.
+//!
 //! See `docs/PERFORMANCE.md` ("Sampling") for the estimator derivation,
 //! warming rules, and measured error tables.
 
@@ -159,7 +165,7 @@ struct MeasuredTotals {
     esp: EspRunStats,
 }
 
-fn add_stack(into: &mut CpiStack, d: &CpiStack) {
+pub(crate) fn add_stack(into: &mut CpiStack, d: &CpiStack) {
     into.base += d.base;
     into.icache_l2 += d.icache_l2;
     into.icache_llc += d.icache_llc;
@@ -171,7 +177,7 @@ fn add_stack(into: &mut CpiStack, d: &CpiStack) {
     into.pre_exec_overlap += d.pre_exec_overlap;
 }
 
-fn add_engine(
+pub(crate) fn add_engine(
     into: &mut esp_uarch::EngineStats,
     a: &esp_uarch::EngineStats,
     b: &esp_uarch::EngineStats,
@@ -187,13 +193,13 @@ fn add_engine(
     into.runahead_instrs += a.runahead_instrs - b.runahead_instrs;
 }
 
-fn add_replay(into: &mut ReplayStats, a: &ReplayStats, b: &ReplayStats) {
+pub(crate) fn add_replay(into: &mut ReplayStats, a: &ReplayStats, b: &ReplayStats) {
     into.iprefetches += a.iprefetches - b.iprefetches;
     into.dprefetches += a.dprefetches - b.dprefetches;
     into.btrains += a.btrains - b.btrains;
 }
 
-fn add_esp(into: &mut EspRunStats, a: &EspRunStats, b: &EspRunStats) {
+pub(crate) fn add_esp(into: &mut EspRunStats, a: &EspRunStats, b: &EspRunStats) {
     into.windows += a.windows - b.windows;
     into.wasted_window_cycles += a.wasted_window_cycles - b.wasted_window_cycles;
     into.events_started += a.events_started - b.events_started;

@@ -54,7 +54,9 @@ mod perfect;
 mod runahead;
 
 pub use config::{EngineConfig, MachineConfig, TimingParams};
-pub use engine::{CycleBreakdown, Engine, EngineStats, Stall, StallKind, StepOutcome, WarmStats};
+pub use engine::{
+    BoundaryView, CycleBreakdown, Engine, EngineStats, Stall, StallKind, StepOutcome, WarmStats,
+};
 pub use kernel::{KernelParams, KindTable};
 pub use perfect::PerfectFlags;
 pub use runahead::RunaheadOutcome;

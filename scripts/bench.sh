@@ -9,7 +9,11 @@
 # materialise + simulate), pass 2 warm on all cores (arena reused;
 # skipped with a JSON note when only one core is visible), pass 3 warm
 # in statistical-sampling mode with a sampled-vs-exact CPI error
-# cross-check. Exact and sampled throughput both land in
+# cross-check. Pass 4 measures the second parallelism axis: each
+# profile's single baseline run chunked over --intra-threads workers
+# with deterministic merge (docs/PARALLELISM.md); its chunk/conflict
+# accounting and serial-vs-chunked single-run throughput land under
+# "intra". Exact and sampled throughput both land in
 # BENCH_repro.json, as sims/s and as MIPS (instructions simulated —
 # retired plus speculative — per wall-second; the sampled block reports
 # *effective* MIPS and is tagged with the scale its error was measured

@@ -24,6 +24,9 @@ cargo run --release -q -p esp-bench --bin repro -- --scale 30000 --fuzz 8 check
 echo "== determinism: parallel runner == sequential simulation =="
 cargo test -q --release -p esp-bench --test determinism
 
+echo "== intra-run: chunk-parallel merge == serial bytes (reports + traces) =="
+cargo test -q --release -p esp-bench --test intra_determinism
+
 echo "== packed arena: bit-equivalence vs regenerative streams =="
 cargo test -q --release -p esp-bench --test packed_equivalence
 
@@ -60,6 +63,16 @@ print(f"  sampled: {s['sims_per_sec']:.1f} sims/sec, simulate speedup "
       f"{s['simulate_speedup_vs_exact']:.2f}x, max CPI error "
       f"{s['max_cpi_error_pct']:.1f}% (small scale -- error shrinks with scale; "
       f"the gated accuracy test runs at 2.4M)")
+# Intra-run (single-run) scaling pass: informational. Conflict
+# accounting is deterministic; the wall-time ratio is only a scaling
+# number on a multi-core host (docs/PARALLELISM.md).
+i = d.get("intra")
+if i:
+    print(f"  intra: {i['chunks']} chunks over {i['runs']} runs "
+          f"({i['accepted']} accepted, {i['repaired']} repaired, "
+          f"conflict rate {i['conflict_rate']:.2f}), "
+          f"serial {i['seconds_1t']:.2f}s vs {i['threads']}-worker "
+          f"{i['seconds_nt']:.2f}s")
 try:
     rec = json.load(open(sys.argv[1]))
 except (OSError, ValueError):
