@@ -4,9 +4,10 @@
 //! repro [--scale N] [--seed S] [--threads T] all
 //! repro [--scale N] [--seed S] fig9 fig11a ...
 //! repro [--trace out.jsonl] [--cpi-stack] fig9
-//! repro explain <benchmark ...>
-//! repro [--scale N] [--seed S] [--fuzz N] check
-//! repro [--scale N] [--seed S] dump
+//! repro [--trace-in FILE.espt ...] fig9
+//! repro explain <benchmark-or-trace ...>
+//! repro [--scale N] [--seed S] [--fuzz N] [--fuzz-espt N] check
+//! repro [--scale N] [--seed S] dump [NAMES-OR-TRACES...] [--trace-out DIR]
 //! repro [--scale N] [--seed S] [--threads T] [--intra-threads K] [--force] [--repeat N] bench
 //! ```
 //!
@@ -31,13 +32,25 @@
 //! comparable); pass `--force` to replace it anyway.
 //!
 //! Correctness (see `docs/TESTING.md`): `check` runs the `esp-check`
-//! differential oracle over every benchmark under baseline, runahead and
-//! ESP+NL, then a seeded configuration fuzz sweep (`--fuzz` cases);
-//! `dump` prints the raw `RunReport` of every profile × configuration —
-//! the cross-process determinism test byte-compares two such dumps.
-//! Both replay the process-wide memoised packed arena
+//! differential oracle over every benchmark family (the paper's seven
+//! plus `serverasync`/`iotfsm`) under baseline, runahead and ESP+NL,
+//! then a seeded configuration fuzz sweep (`--fuzz` cases), then a
+//! structural fuzz of the ESPT trace decoder (`--fuzz-espt` mutated
+//! containers, default 500 — see `docs/TRACE_FORMAT.md`); `dump` prints
+//! the raw `RunReport` of every profile × configuration — the
+//! cross-process determinism test byte-compares two such dumps. Both
+//! replay the process-wide memoised packed arena
 //! (`esp_workload::arena`), so repeated subcommands on the same
 //! profile/scale/seed decode the workload once.
+//!
+//! Traces (see `docs/TRACE_FORMAT.md`): `dump --trace-out DIR` exports
+//! each selected workload as a versioned `.espt` file instead of
+//! printing reports; `--trace-in FILE.espt` (repeatable) makes a figure
+//! run simulate exactly the imported traces, in CLI order, with the
+//! generator never invoked; `explain` and `dump` accept trace paths
+//! anywhere a benchmark name is expected. Imported arenas replay
+//! byte-identically to generated ones (the trace-import equivalence
+//! suite pins this in all four execution modes).
 //!
 //! Performance (see `docs/PERFORMANCE.md`): `bench` runs the full
 //! evaluation matrix three times — cold at one thread, warm at
@@ -59,8 +72,11 @@
 //! `"mode": "sampled"`. The default exact path is byte-identical to a
 //! build without the sampling engine.
 
-use esp_bench::{explain, figures, ConfigKey, Runner};
+use esp_bench::{explain, figures, ConfigKey, Runner, WorkloadSpec};
 use esp_core::SampleParams;
+use esp_trace::Workload;
+use esp_workload::BenchmarkProfile;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -69,11 +85,14 @@ fn main() -> ExitCode {
     let mut seed: u64 = 42;
     let mut threads: Option<usize> = None;
     let mut intra_threads: Option<usize> = None;
-    let mut trace: Option<std::path::PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut trace_ins: Vec<PathBuf> = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
     let mut cpi_stack = false;
     let mut force = false;
     let mut repeat: usize = 3;
     let mut fuzz_cases: usize = 10;
+    let mut espt_fuzz_cases: usize = 500;
     let mut sample_period: Option<u64> = None;
     let mut sample_grain: u64 = SampleParams::default().grain_instrs;
     let mut wanted: Vec<String> = Vec::new();
@@ -101,6 +120,14 @@ fn main() -> ExitCode {
                 Some(p) => trace = Some(p.into()),
                 None => return usage("--trace needs a file path"),
             },
+            "--trace-in" => match args.next() {
+                Some(p) => trace_ins.push(p.into()),
+                None => return usage("--trace-in needs a .espt file path"),
+            },
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p.into()),
+                None => return usage("--trace-out needs a directory path"),
+            },
             "--cpi-stack" => cpi_stack = true,
             "--force" => force = true,
             "--repeat" => match args.next().and_then(|v| v.parse().ok()) {
@@ -110,6 +137,10 @@ fn main() -> ExitCode {
             "--fuzz" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => fuzz_cases = v,
                 None => return usage("--fuzz needs an integer"),
+            },
+            "--fuzz-espt" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => espt_fuzz_cases = v,
+                None => return usage("--fuzz-espt needs an integer"),
             },
             "--sample-period" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 3 => sample_period = Some(v),
@@ -127,24 +158,21 @@ fn main() -> ExitCode {
         return usage("no figure selected");
     }
     // `explain` consumes the rest of the positional arguments as
-    // benchmark names, validated (like figure names) before any workload
-    // generation happens.
-    let explain_benches: Vec<String> = if wanted[0] == "explain" {
+    // benchmark names or `.espt` trace paths, resolved (like figure
+    // names) before any workload generation happens.
+    let explain_specs: Vec<WorkloadSpec> = if wanted[0] == "explain" {
         let benches: Vec<String> = wanted.drain(..).skip(1).collect();
         if benches.is_empty() {
-            return usage("explain needs at least one benchmark name");
+            return usage("explain needs at least one benchmark name or trace path");
         }
-        let names: Vec<&str> =
-            esp_workload::BenchmarkProfile::all().iter().map(|p| p.name()).collect();
+        let mut specs = Vec::with_capacity(benches.len());
         for b in &benches {
-            if !names.iter().any(|&n| n == b) {
-                return usage(&format!(
-                    "unknown benchmark '{b}' (expected one of: {})",
-                    names.join(", ")
-                ));
+            match WorkloadSpec::resolve(b) {
+                Ok(s) => specs.push(s),
+                Err(e) => return usage(&e.to_string()),
             }
         }
-        benches
+        specs
     } else {
         Vec::new()
     };
@@ -152,8 +180,8 @@ fn main() -> ExitCode {
     // scale — no Runner (and no BENCH_repro.json) involved. `bench`
     // runs the timing protocol and owns its BENCH_repro.json write.
     match wanted.first().map(String::as_str) {
-        Some("dump") => return dump(scale, seed),
-        Some("check") => return check(scale, seed, fuzz_cases),
+        Some("dump") => return dump(scale, seed, &wanted[1..], trace_out.as_deref()),
+        Some("check") => return check(scale, seed, fuzz_cases, espt_fuzz_cases),
         Some("bench") => {
             return bench(
                 scale,
@@ -180,8 +208,31 @@ fn main() -> ExitCode {
 
     let threads = threads.unwrap_or_else(esp_par::threads);
     let t_start = Instant::now();
-    eprintln!("# generating workloads (scale {scale}, seed {seed}, {threads} threads)...");
-    let mut runner = Runner::with_threads(scale, seed, threads);
+    // The slot list: explain's resolved arguments take precedence; then
+    // `--trace-in` (the run simulates exactly the imported traces, in
+    // CLI order, and the generator never runs); otherwise the paper's
+    // seven generated profiles.
+    let specs: Vec<WorkloadSpec> = if !explain_specs.is_empty() {
+        explain_specs.clone()
+    } else {
+        trace_ins.iter().map(|p| WorkloadSpec::Import(p.clone())).collect()
+    };
+    let mut runner = if specs.is_empty() {
+        eprintln!("# generating workloads (scale {scale}, seed {seed}, {threads} threads)...");
+        Runner::with_threads(scale, seed, threads)
+    } else {
+        eprintln!(
+            "# preparing workloads [{}] (scale {scale}, seed {seed}, {threads} threads)...",
+            specs.iter().map(WorkloadSpec::describe).collect::<Vec<_>>().join(", ")
+        );
+        match Runner::from_specs(&specs, scale, seed, threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
     eprintln!("# workloads ready in {:.2}s", t_start.elapsed().as_secs_f64());
 
     // Statistical-sampling mode: every simulation estimates its CPI
@@ -207,12 +258,19 @@ fn main() -> ExitCode {
         eprintln!("# tracing to {}", path.display());
     }
 
-    if !explain_benches.is_empty() {
-        for b in &explain_benches {
+    if !explain_specs.is_empty() {
+        // One slot per explain argument, in order — look each up by its
+        // resolved slot name (imports report their recorded profile).
+        let names = runner.names();
+        for (i, b) in names.iter().enumerate().take(explain_specs.len()) {
             let t = Instant::now();
             match explain::explain(&mut runner, b) {
                 Ok(rep) => {
-                    eprintln!("# explain {b} in {:.2}s", t.elapsed().as_secs_f64());
+                    eprintln!(
+                        "# explain {} ({b}) in {:.2}s",
+                        explain_specs[i].describe(),
+                        t.elapsed().as_secs_f64()
+                    );
                     println!("{}", rep.render());
                 }
                 Err(e) => return usage(&e.to_string()),
@@ -262,19 +320,83 @@ fn main() -> ExitCode {
 /// under baseline, runahead, and the headline ESP+NL configuration.
 const MATRIX: [ConfigKey; 3] = [ConfigKey::Base, ConfigKey::Runahead, ConfigKey::EspNl];
 
-/// `repro dump`: prints the raw `RunReport` of every profile ×
-/// configuration to stdout, deterministically, and writes nothing to
-/// disk. Two processes with the same `--scale`/`--seed` must produce
-/// byte-identical output (asserted by `tests/cross_process.rs`).
-fn dump(scale: u64, seed: u64) -> ExitCode {
-    for profile in esp_workload::BenchmarkProfile::all() {
-        // The memoised packed arena: the workload is generated and
-        // decoded once per (profile, scale, seed), process-wide.
-        let w = esp_workload::arena::packed_for(&profile.scaled(scale), seed, esp_par::threads());
-        for key in MATRIX {
-            let report = esp_core::Simulator::new(key.config()).run(&*w);
-            println!("=== {} / {key:?} ===", profile.name());
-            println!("{report:#?}");
+/// `repro dump [NAMES-OR-TRACES...] [--trace-out DIR]`.
+///
+/// Without `--trace-out`: prints the raw `RunReport` of every selected
+/// workload × configuration to stdout, deterministically, and writes
+/// nothing to disk. Two processes with the same `--scale`/`--seed` must
+/// produce byte-identical output (asserted by `tests/cross_process.rs`).
+/// The default selection is every built-in family (the paper's seven
+/// plus `serverasync`/`iotfsm`); positional arguments narrow it to
+/// specific families or `.espt` trace paths.
+///
+/// With `--trace-out DIR`: instead of printing reports, exports each
+/// selected workload as `DIR/<name>.espt` (built-ins under the CLI
+/// scale/seed provenance; imports re-encoded under their recorded one)
+/// and reports sizes on stderr.
+fn dump(scale: u64, seed: u64, names: &[String], trace_out: Option<&Path>) -> ExitCode {
+    let specs: Vec<WorkloadSpec> = if names.is_empty() {
+        BenchmarkProfile::all_families().into_iter().map(WorkloadSpec::Builtin).collect()
+    } else {
+        let mut specs = Vec::with_capacity(names.len());
+        for n in names {
+            match WorkloadSpec::resolve(n) {
+                Ok(s) => specs.push(s),
+                Err(e) => return usage(&e.to_string()),
+            }
+        }
+        specs
+    };
+    if let Some(dir) = trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    for spec in &specs {
+        // The memoised packed arena: each workload is generated (or
+        // imported) and decoded once per provenance triple, process-wide.
+        let (meta, w) = match spec {
+            WorkloadSpec::Builtin(p) => {
+                let scaled = p.scaled(scale);
+                let w = esp_workload::arena::packed_for(&scaled, seed, esp_par::threads());
+                let meta = esp_trace::espt::TraceMeta {
+                    profile: scaled.name().to_string(),
+                    scale,
+                    seed,
+                };
+                (meta, w)
+            }
+            WorkloadSpec::Import(path) => match esp_workload::arena::import(path) {
+                Ok((meta, w)) => (meta, w),
+                Err(e) => {
+                    eprintln!("error: cannot import trace {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        match trace_out {
+            Some(dir) => {
+                let path = dir.join(format!("{}.espt", meta.profile));
+                match esp_trace::espt::write_path(&path, &meta, &w) {
+                    Ok(bytes) => eprintln!(
+                        "# wrote {} ({bytes} bytes, {} events)",
+                        path.display(),
+                        w.events().len()
+                    ),
+                    Err(e) => {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            None => {
+                for key in MATRIX {
+                    let report = esp_core::Simulator::new(key.config()).run(&*w);
+                    println!("=== {} / {key:?} ===", meta.profile);
+                    println!("{report:#?}");
+                }
+            }
         }
     }
     ExitCode::SUCCESS
@@ -282,19 +404,20 @@ fn dump(scale: u64, seed: u64) -> ExitCode {
 
 /// `repro check`: the correctness gate. Runs the `esp-check`
 /// differential oracle (event recount, serial timing bound, component
-/// replay) over the full benchmark matrix, then a seeded configuration
-/// fuzz sweep. Any violation prints a shrunk, ready-to-paste reproducer
-/// and fails the process.
-fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
+/// replay) over every benchmark family × the differential matrix, then
+/// a seeded configuration fuzz sweep, then a structural fuzz of the
+/// ESPT trace decoder. Any violation prints a shrunk, ready-to-paste
+/// reproducer and fails the process.
+fn check(scale: u64, seed: u64, fuzz_cases: usize, espt_fuzz_cases: usize) -> ExitCode {
     let mut failed = false;
 
     let t = Instant::now();
-    for profile in esp_workload::BenchmarkProfile::all() {
+    for profile in BenchmarkProfile::all_families() {
         let w = esp_workload::arena::packed_for(&profile.scaled(scale), seed, esp_par::threads());
         for key in MATRIX {
             match esp_check::check_run(&key.config(), &*w) {
                 Ok(r) => eprintln!(
-                    "# ok {:>9} {key:?}: serial {} >= busy {} ({} mem ops, {} bp ops)",
+                    "# ok {:>11} {key:?}: serial {} >= busy {} ({} mem ops, {} bp ops)",
                     profile.name(),
                     r.serial_cycles,
                     r.busy_cycles,
@@ -303,7 +426,7 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
                 ),
                 Err(e) => {
                     failed = true;
-                    eprintln!("FAIL {:>9} {key:?}: {e}", profile.name());
+                    eprintln!("FAIL {:>11} {key:?}: {e}", profile.name());
                 }
             }
         }
@@ -329,6 +452,28 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
         }
     }
 
+    // The trace-decoder gate: seeded structural mutations of a valid
+    // `.espt` image must all come back as structured errors — never a
+    // panic, never an attacker-sized allocation (docs/TRACE_FORMAT.md).
+    if espt_fuzz_cases > 0 {
+        let t = Instant::now();
+        match esp_check::espt_fuzz_with(seed, espt_fuzz_cases) {
+            None => eprintln!(
+                "# espt fuzz: {espt_fuzz_cases} mutated containers rejected cleanly in {:.2}s",
+                t.elapsed().as_secs_f64()
+            ),
+            Some(f) => {
+                failed = true;
+                eprintln!(
+                    "FAIL espt fuzz iteration {}: {}\nshrunk reproducer:\n{}",
+                    f.iteration,
+                    f.shrunk_message,
+                    esp_check::render_espt_reproducer(&f)
+                );
+            }
+        }
+    }
+
     if failed {
         eprintln!("check: FAILED");
         ExitCode::FAILURE
@@ -340,8 +485,9 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
 
 /// `repro bench`: the throughput protocol behind `BENCH_repro.json`.
 ///
-/// Pass 1 runs the full 29-configuration × 7-profile matrix cold on a
-/// single worker thread — the comparable trajectory number. Pass 2
+/// Pass 1 runs the full 29-configuration × 9-family matrix (the paper's
+/// seven profiles plus `serverasync`/`iotfsm`) cold on a single worker
+/// thread — the comparable trajectory number. Pass 2
 /// reruns it at `--threads` (default: the machine's parallelism) with
 /// the workload and arena caches warm, isolating simulation scaling
 /// from one-time decode cost; on a machine where only one core is
@@ -357,7 +503,11 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize) -> ExitCode {
 /// least disturbed by background load (every repetition simulates the
 /// exact same deterministic work, so they are directly comparable). All
 /// passes and the per-phase wall times land in `BENCH_repro.json`
-/// (guarded against cross-scale overwrite, as for figure runs).
+/// (guarded against cross-scale overwrite, as for figure runs). A final
+/// trace-I/O measurement exports every family's arena to `.espt`, drops
+/// the memo, re-imports from the files, and records both wall times next
+/// to the generate/materialise cost they substitute for
+/// (`docs/TRACE_FORMAT.md`).
 #[allow(clippy::too_many_arguments)]
 fn bench(
     scale: u64,
@@ -374,9 +524,11 @@ fn bench(
     if !bench_json_writable(scale, force) {
         return ExitCode::from(2);
     }
+    let families = BenchmarkProfile::all_families();
 
     eprintln!(
-        "# bench pass 1: cold, 1 thread (scale {scale}, seed {seed}), best of {repeat}..."
+        "# bench pass 1: cold, 1 thread (scale {scale}, seed {seed}, {} families), best of {repeat}...",
+        families.len()
     );
     let mut best: Option<(f64, esp_bench::PhaseSeconds, u64, u64, u64)> = None;
     for rep in 1..=repeat {
@@ -384,7 +536,7 @@ fn bench(
         // drop the process-wide arena cache left by the previous one.
         esp_workload::arena::reset();
         let t = Instant::now();
-        let mut cold = Runner::with_threads(scale, seed, 1);
+        let mut cold = Runner::with_profiles(&families, scale, seed, 1);
         cold.ensure(ConfigKey::all());
         let total = t.elapsed().as_secs_f64();
         eprintln!("#   rep {rep}: {total:.2}s ({:.3} sims/s)", cold.sims_run() as f64 / total.max(1e-9));
@@ -423,7 +575,7 @@ fn bench(
         eprintln!("# bench pass 2: warm arenas, {threads_nt} threads, best of {repeat}...");
         for rep in 1..=repeat {
             let t = Instant::now();
-            let mut warm = Runner::with_threads(scale, seed, threads_nt);
+            let mut warm = Runner::with_profiles(&families, scale, seed, threads_nt);
             warm.ensure(ConfigKey::all());
             let total = t.elapsed().as_secs_f64();
             eprintln!("#   rep {rep}: {total:.2}s ({:.3} sims/s)", sims as f64 / total.max(1e-9));
@@ -450,7 +602,7 @@ fn bench(
     let mut sampled_runner: Option<Runner> = None;
     for rep in 1..=repeat {
         let t = Instant::now();
-        let mut r = Runner::with_threads(scale, seed, 1);
+        let mut r = Runner::with_profiles(&families, scale, seed, 1);
         r.set_sampling(Some(sp));
         r.ensure(ConfigKey::all());
         let total = t.elapsed().as_secs_f64();
@@ -471,12 +623,12 @@ fn bench(
     // Sampled-vs-exact error report over the differential matrix
     // (base / runahead / esp_nl per profile — the configurations the
     // accuracy target is stated over).
-    let mut exact = Runner::with_threads(scale, seed, 1);
+    let mut exact = Runner::with_profiles(&families, scale, seed, 1);
     exact.ensure(&MATRIX);
     let mut errs: Vec<f64> = Vec::new();
     eprintln!("# sampled CPI error vs exact (per profile; base / runahead / esp_nl):");
     for (i, name) in exact.names().iter().enumerate() {
-        let mut row = format!("#   {name:<9}");
+        let mut row = format!("#   {name:<11}");
         for key in MATRIX {
             let e = exact.cached(i, key).expect("ensured");
             let s = sampled.cached(i, key).expect("ensured");
@@ -528,11 +680,37 @@ fn bench(
     } else {
         format!("\n    \"note\": \"wall times measured on {cores} visible core; not a scaling number\",")
     };
+    // Per-family chunk/conflict tables: the aggregate hides which
+    // workloads chunk cleanly and which repair everything.
+    let intra_profiles = intra
+        .per_profile
+        .iter()
+        .map(|p| {
+            let conflicts = p
+                .conflicts
+                .iter()
+                .map(|(r, n)| format!("\"{r}\": {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{}\": {{\"events\": {}, \"chunks\": {}, \"accepted\": {}, \
+                 \"repaired\": {}, \"conflict_rate\": {:.3}, \"conflicts\": {{{conflicts}}}}}",
+                p.name,
+                p.events,
+                p.chunks,
+                p.accepted,
+                p.repaired,
+                p.conflict_rate(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
     let intra_json = format!(
         "\n  \"intra\": {{\"threads\": {threads_intra}, \"runs\": {}, \"events\": {}, \
          \"events_per_chunk\": {:.1},\n    \
          \"chunks\": {}, \"accepted\": {}, \"repaired\": {}, \"conflict_rate\": {intra_rate:.3},\n    \
          \"conflicts\": {{{intra_conflicts}}},{intra_note}\n    \
+         \"per_profile\": {{\n      {intra_profiles}\n    }},\n    \
          \"seconds_1t\": {:.3}, \"seconds_nt\": {:.3}, \
          \"sims_per_sec_1t\": {:.3}, \"sims_per_sec_nt\": {:.3}}},",
         intra.runs,
@@ -546,6 +724,19 @@ fn bench(
         intra.runs as f64 / intra.seconds_1t.max(1e-9),
         intra.runs as f64 / intra.seconds_nt.max(1e-9),
     );
+
+    // Trace I/O: what a consumer of exported `.espt` files pays
+    // (decode-only import) versus what this process paid to build the
+    // same arenas (generate + materialise, cold pass 1 numbers).
+    let trace_io_json = match trace_io(&exact, scale, seed) {
+        Some((files, bytes, export_s, import_s)) => format!(
+            "\n  \"trace_io\": {{\"files\": {files}, \"bytes\": {bytes}, \
+             \"export_seconds\": {export_s:.3}, \"import_seconds\": {import_s:.3},\n    \
+             \"generate_seconds\": {:.3}, \"materialise_seconds\": {:.3}}},",
+            phases.generate, phases.materialise,
+        ),
+        None => String::new(),
+    };
 
     let nt_json = match (&best_nt, &nt_note) {
         (Some((total_nt, phases_nt)), _) => format!(
@@ -564,7 +755,7 @@ fn bench(
     // workload), so its numbers are only meaningful next to their scale.
     let effective_mips = sampled.instructions_simulated() as f64 / total_s.max(1e-9) / 1e6;
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,{nt_json}{intra_json}\n  \
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"threads\": 1,{nt_json}{intra_json}{trace_io_json}\n  \
          \"repeat\": {repeat},\n  \"sims_run\": {sims},\n  \
          \"instructions_simulated\": {instrs},\n  \
          \"total_seconds\": {total_1t:.3},\n  \
@@ -599,6 +790,44 @@ fn bench(
             ExitCode::FAILURE
         }
     }
+}
+
+/// The trace-I/O measurement behind the `trace_io` block: exports every
+/// slot of `runner` as `.espt` into a scratch directory, drops the
+/// process-wide arena memo, re-imports all files (seating fresh arenas),
+/// and reports `(files, bytes, export_seconds, import_seconds)`. Returns
+/// `None` — and records nothing — if any filesystem step fails; the
+/// scratch directory is removed either way.
+fn trace_io(runner: &Runner, scale: u64, seed: u64) -> Option<(usize, u64, f64, f64)> {
+    let dir = std::env::temp_dir().join(format!("esp-bench-espt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let names = runner.names();
+    let result = (|| {
+        let t = Instant::now();
+        let mut bytes = 0u64;
+        for (i, name) in names.iter().enumerate() {
+            let meta = esp_trace::espt::TraceMeta { profile: name.clone(), scale, seed };
+            let path = dir.join(format!("{name}.espt"));
+            bytes += esp_trace::espt::write_path(&path, &meta, runner.packed(i).as_ref()).ok()?;
+        }
+        let export_s = t.elapsed().as_secs_f64();
+        // Drop the memo so the import genuinely decodes from bytes
+        // (existing runners keep their Arcs and are unaffected).
+        esp_workload::arena::reset();
+        let t = Instant::now();
+        for name in &names {
+            esp_workload::arena::import(dir.join(format!("{name}.espt"))).ok()?;
+        }
+        let import_s = t.elapsed().as_secs_f64();
+        eprintln!(
+            "# trace i/o: exported {} files ({bytes} bytes) in {export_s:.2}s, \
+             re-imported in {import_s:.2}s",
+            names.len()
+        );
+        Some((names.len(), bytes, export_s, import_s))
+    })();
+    std::fs::remove_dir_all(&dir).ok();
+    result
 }
 
 /// Whether `BENCH_repro.json` may be (over)written by a run at `scale`:
@@ -685,23 +914,29 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--scale N] [--seed S] [--threads T] [--intra-threads K] \
-         [--trace FILE.jsonl] [--cpi-stack] \
-         [--force] [--fuzz N] [--repeat N] [--sample-period P] [--sample-grain G] \
+         [--trace FILE.jsonl] [--trace-in FILE.espt ...] [--trace-out DIR] [--cpi-stack] \
+         [--force] [--fuzz N] [--fuzz-espt N] [--repeat N] [--sample-period P] [--sample-grain G] \
          <all | fig3 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 | ablate \
-         | explain BENCHMARK... | check | dump | bench>\n\
+         | explain BENCHMARK-OR-TRACE... | check | dump [NAMES-OR-TRACES...] | bench>\n\
          threads default to ESP_THREADS or the machine's parallelism;\n\
          --trace writes a JSONL span trace, --cpi-stack embeds per-benchmark CPI stacks\n\
          in BENCH_repro.json (schema: docs/OBSERVABILITY.md);\n\
+         --trace-in FILE.espt (repeatable) simulates imported traces instead of\n\
+         generating workloads; dump --trace-out DIR exports .espt trace files\n\
+         (format: docs/TRACE_FORMAT.md);\n\
          --force overwrites a BENCH_repro.json recorded at a different scale;\n\
          --sample-period P runs figures in statistical-sampling mode (1 of every P\n\
          grains of --sample-grain instructions is measured; see docs/PERFORMANCE.md);\n\
-         check runs the differential oracle + a --fuzz N seeded sweep (docs/TESTING.md);\n\
-         dump prints every profile's RunReports for cross-process determinism checks;\n\
+         check runs the differential oracle over all 9 families + a --fuzz N seeded\n\
+         sweep + a --fuzz-espt N trace-decoder sweep (docs/TESTING.md);\n\
+         dump prints every selected workload's RunReports for cross-process\n\
+         determinism checks (default: all 9 families);\n\
          bench runs the full matrix cold at 1 thread, warm at --threads (skipped on a\n\
          1-core machine), warm in sampled mode with an error cross-check, then an\n\
          intra-run pass chunking each single run over --intra-threads workers (each\n\
-         pass best of --repeat, default 3) and records all passes in BENCH_repro.json\n\
-         (docs/PERFORMANCE.md, docs/PARALLELISM.md)"
+         pass best of --repeat, default 3), measures .espt export/import against\n\
+         generate+materialise, and records all passes in BENCH_repro.json\n\
+         (docs/PERFORMANCE.md, docs/PARALLELISM.md, docs/TRACE_FORMAT.md)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -15,11 +15,11 @@ use esp_stats::Table;
 ///
 /// # Errors
 ///
-/// Returns [`esp_types::Error::InvalidConfig`] if `bench` is not one of
-/// the seven profile names.
+/// Returns [`esp_types::Error::InvalidConfig`] if `bench` names none of
+/// the runner's slots (built-in families and imported traces alike).
 pub fn explain(runner: &mut Runner, bench: &str) -> esp_types::Result<FigureReport> {
     let names = runner.names();
-    let Some(i) = names.iter().position(|&n| n == bench) else {
+    let Some(i) = names.iter().position(|n| n == bench) else {
         return Err(esp_types::Error::invalid_config(format!(
             "unknown benchmark '{bench}' (expected one of: {})",
             names.join(", ")
@@ -116,7 +116,7 @@ mod tests {
         assert_eq!(col_sum(2), total_row[2].parse::<u64>().unwrap());
         assert_eq!(col_sum(4), total_row[4].parse::<u64>().unwrap());
         // And the totals are the reports' total cycles.
-        let i = r.names().iter().position(|&n| n == "amazon").unwrap();
+        let i = r.names().iter().position(|n| n == "amazon").unwrap();
         assert_eq!(
             total_row[2].parse::<u64>().unwrap(),
             r.run(i, ConfigKey::Base).total_cycles

@@ -21,5 +21,7 @@ pub mod ablation;
 pub mod explain;
 pub mod figures;
 pub mod runner;
+pub mod source;
 
-pub use runner::{ConfigKey, FigureReport, IntraScaling, PhaseSeconds, Runner};
+pub use runner::{ConfigKey, FigureReport, IntraProfile, IntraScaling, PhaseSeconds, Runner};
+pub use source::WorkloadSpec;

@@ -6,6 +6,7 @@
 //! the fan-out is fidelity-free), and [`Runner::run`] /
 //! [`Runner::improvements`] / [`Runner::metric`] become cache lookups.
 
+use crate::source::WorkloadSpec;
 use esp_core::{RunReport, SampleParams, SimConfig, SimMode, Simulator};
 use esp_obs::TraceProbe;
 use esp_stats::Table;
@@ -211,6 +212,40 @@ pub struct PhaseSeconds {
     pub simulate: f64,
 }
 
+/// One benchmark's slice of an intra-run scaling pass: chunk and
+/// conflict accounting for that profile's single chunked baseline run.
+/// The per-profile view is what distinguishes a workload whose chunks
+/// all merge cleanly from one that repairs everything — the aggregate
+/// in [`IntraScaling`] cannot.
+#[derive(Clone, Debug, Default)]
+pub struct IntraProfile {
+    /// Benchmark name (presentation order of the runner's slots).
+    pub name: String,
+    /// Events in this profile's run.
+    pub events: u64,
+    /// Chunks the run was split into (1 when the serial fallback ran).
+    pub chunks: u64,
+    /// Chunks accepted at merge.
+    pub accepted: u64,
+    /// Chunks re-simulated serially from the authoritative state.
+    pub repaired: u64,
+    /// Why chunks conflicted: `(reason, count)` for this run.
+    pub conflicts: Vec<(&'static str, u64)>,
+}
+
+impl IntraProfile {
+    /// Fraction of this run's speculative chunks that took the repair
+    /// path (see [`IntraScaling::conflict_rate`]).
+    pub fn conflict_rate(&self) -> f64 {
+        let speculative = self.chunks.saturating_sub(1);
+        if speculative == 0 {
+            0.0
+        } else {
+            self.repaired as f64 / speculative as f64
+        }
+    }
+}
+
 /// Accounting from one intra-run scaling pass ([`Runner::intra_scaling`]):
 /// chunk/conflict totals at the parallel thread count plus the best wall
 /// times of the serial and chunk-parallel sweeps over the same runs.
@@ -230,6 +265,8 @@ pub struct IntraScaling {
     pub repaired: u64,
     /// Why chunks conflicted: `(reason, count)`, aggregated over runs.
     pub conflicts: Vec<(&'static str, u64)>,
+    /// Per-benchmark accounting, in the runner's slot order.
+    pub per_profile: Vec<IntraProfile>,
     /// Best wall-clock seconds for the serial sweep.
     pub seconds_1t: f64,
     /// Best wall-clock seconds for the chunk-parallel sweep.
@@ -264,9 +301,7 @@ pub struct Runner {
     scale: u64,
     seed: u64,
     threads: usize,
-    profiles: Vec<BenchmarkProfile>,
-    generated: Vec<Arc<GeneratedWorkload>>,
-    packed: Vec<Arc<PackedWorkload>>,
+    slots: Vec<Slot>,
     phases: PhaseSeconds,
     cache: HashMap<(usize, ConfigKey), RunReport>,
     sims_run: u64,
@@ -280,47 +315,128 @@ pub struct Runner {
     trace: Option<std::io::BufWriter<std::fs::File>>,
 }
 
+/// One benchmark seat in the runner: the display name, the built-in
+/// profile and generated walk behind it (both `None` for a workload
+/// imported from an `.espt` trace, which has no regenerative form), and
+/// the packed arena every simulation replays.
+struct Slot {
+    name: String,
+    profile: Option<BenchmarkProfile>,
+    generated: Option<Arc<GeneratedWorkload>>,
+    packed: Arc<PackedWorkload>,
+}
+
 impl Runner {
-    /// Builds workloads for all seven profiles at `scale` instructions
-    /// each (in parallel, one generation job per profile), using
-    /// [`esp_par::threads`] worker threads — the machine's parallelism,
-    /// overridable through the `ESP_THREADS` environment variable.
+    /// Builds workloads for the paper's seven profiles at `scale`
+    /// instructions each (in parallel, one generation job per profile),
+    /// using [`esp_par::threads`] worker threads — the machine's
+    /// parallelism, overridable through the `ESP_THREADS` environment
+    /// variable.
     pub fn new(scale: u64, seed: u64) -> Self {
         Self::with_threads(scale, seed, esp_par::threads())
     }
 
     /// Like [`Runner::new`] with an explicit worker-thread count.
     pub fn with_threads(scale: u64, seed: u64, threads: usize) -> Self {
+        Self::with_profiles(&BenchmarkProfile::all(), scale, seed, threads)
+    }
+
+    /// Builds a runner over an explicit profile list (e.g.
+    /// [`BenchmarkProfile::all_families`] for the extended matrix). Each
+    /// profile is scaled to `scale` instructions and generated in
+    /// parallel, then materialised through the process-wide arena memo.
+    pub fn with_profiles(
+        profiles: &[BenchmarkProfile],
+        scale: u64,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let specs: Vec<WorkloadSpec> =
+            profiles.iter().map(|p| WorkloadSpec::Builtin(p.clone())).collect();
+        Self::from_specs(&specs, scale, seed, threads)
+            .expect("built-in profiles cannot fail to resolve")
+    }
+
+    /// Builds a runner over a mixed list of workload sources: built-in
+    /// profiles are generated (at `scale`/`seed`) exactly as in
+    /// [`Runner::with_profiles`]; `.espt` imports are read from disk and
+    /// seated in the arena memo under their recorded provenance, taking
+    /// the place of generation. Slots keep the spec order, so a
+    /// `--trace-in` run simulates exactly the imported traces, in CLI
+    /// order, with generation never invoked for them.
+    ///
+    /// # Errors
+    ///
+    /// [`esp_types::Error::InvalidWorkload`] when an import path cannot
+    /// be read or fails ESPT validation (the underlying
+    /// [`esp_trace::espt::EsptError`] is quoted in the message).
+    pub fn from_specs(
+        specs: &[WorkloadSpec],
+        scale: u64,
+        seed: u64,
+        threads: usize,
+    ) -> esp_types::Result<Self> {
         let threads = threads.max(1);
-        let profiles: Vec<BenchmarkProfile> =
-            BenchmarkProfile::all().iter().map(|p| p.scaled(scale)).collect();
+        let scaled: Vec<Option<BenchmarkProfile>> = specs
+            .iter()
+            .map(|s| match s {
+                WorkloadSpec::Builtin(p) => Some(p.scaled(scale)),
+                WorkloadSpec::Import(_) => None,
+            })
+            .collect();
         let t = Instant::now();
-        let generated: Vec<Arc<GeneratedWorkload>> =
-            esp_par::parallel_map(threads, &profiles, |_, p| arena::generated(p, seed));
+        let generated: Vec<Option<Arc<GeneratedWorkload>>> =
+            esp_par::parallel_map(threads, &scaled, |_, p| {
+                p.as_ref().map(|p| arena::generated(p, seed))
+            });
         let generate = t.elapsed().as_secs_f64();
         // Materialise profiles one after another, fanning the per-event
         // decode of each over the pool: events outnumber profiles, so
-        // this balances better than one thread per profile.
+        // this balances better than one thread per profile. Imports are
+        // read here too — their decode cost is this phase's analogue.
         let t = Instant::now();
-        let packed: Vec<Arc<PackedWorkload>> = profiles
-            .iter()
-            .zip(&generated)
-            .map(|(p, w)| arena::packed(p, w, seed, threads))
-            .collect();
+        let mut slots = Vec::with_capacity(specs.len());
+        for (spec, (p, g)) in specs.iter().zip(scaled.into_iter().zip(generated)) {
+            match spec {
+                WorkloadSpec::Builtin(_) => {
+                    let p = p.expect("builtin spec was scaled");
+                    let g = g.expect("builtin spec was generated");
+                    let packed = arena::packed(&p, &g, seed, threads);
+                    slots.push(Slot {
+                        name: p.name().to_string(),
+                        profile: Some(p),
+                        generated: Some(g),
+                        packed,
+                    });
+                }
+                WorkloadSpec::Import(path) => {
+                    let (meta, packed) = arena::import(path).map_err(|e| {
+                        esp_types::Error::invalid_workload(format!(
+                            "cannot import trace {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    slots.push(Slot {
+                        name: meta.profile,
+                        profile: None,
+                        generated: None,
+                        packed,
+                    });
+                }
+            }
+        }
         let materialise = t.elapsed().as_secs_f64();
-        Runner {
+        Ok(Runner {
             scale,
             seed,
             threads,
-            profiles,
-            generated,
-            packed,
+            slots,
             phases: PhaseSeconds { generate, materialise, simulate: 0.0 },
             cache: HashMap::new(),
             sims_run: 0,
             sampling: None,
             trace: None,
-        }
+        })
     }
 
     /// Switches every *subsequent* simulation to statistical-sampling
@@ -385,14 +501,27 @@ impl Runner {
             .sum()
     }
 
-    /// Benchmark names in presentation order.
-    pub fn names(&self) -> Vec<&'static str> {
-        self.profiles.iter().map(|p| p.name()).collect()
+    /// Benchmark names in presentation order (slot order). Imported
+    /// slots report the profile name recorded in their trace metadata.
+    pub fn names(&self) -> Vec<String> {
+        self.slots.iter().map(|s| s.name.clone()).collect()
     }
 
-    /// The profiles and their generated workloads.
+    /// The built-in profiles and their generated workloads. Imported
+    /// slots have no generator behind them and are skipped — consumers
+    /// of this view (the Fig. 6 characteristics table) describe the
+    /// generative parameters, which a raw trace does not carry.
     pub fn workloads(&self) -> impl Iterator<Item = (&BenchmarkProfile, &GeneratedWorkload)> {
-        self.profiles.iter().zip(self.generated.iter().map(Arc::as_ref))
+        self.slots.iter().filter_map(|s| match (&s.profile, &s.generated) {
+            (Some(p), Some(g)) => Some((p, g.as_ref())),
+            _ => None,
+        })
+    }
+
+    /// The packed workload simulated in slot `i` (what every
+    /// configuration replays — generated or imported alike).
+    pub fn packed(&self, i: usize) -> &Arc<PackedWorkload> {
+        &self.slots[i].packed
     }
 
     /// Wall-clock seconds spent per phase so far.
@@ -402,7 +531,7 @@ impl Runner {
 
     /// Heap bytes resident in the packed trace arenas of all profiles.
     pub fn arena_resident_bytes(&self) -> u64 {
-        self.packed.iter().map(|p| p.resident_bytes()).sum()
+        self.slots.iter().map(|s| s.packed.resident_bytes()).sum()
     }
 
     /// Measures intra-run (single-run) scaling: every profile's packed
@@ -424,27 +553,36 @@ impl Runner {
         let cfg = ConfigKey::Base.config();
         for _ in 0..repeat.max(1) {
             let t = Instant::now();
-            for w in &self.packed {
-                let _ = Simulator::new(cfg.clone()).run(w.as_ref());
+            for s in &self.slots {
+                let _ = Simulator::new(cfg.clone()).run(s.packed.as_ref());
             }
             out.seconds_1t = out.seconds_1t.min(t.elapsed().as_secs_f64());
         }
         for rep in 0..repeat.max(1) {
             let t = Instant::now();
-            for w in &self.packed {
-                let run = Simulator::new(cfg.clone()).run_intra(w.as_ref(), threads);
+            for s in &self.slots {
+                let run = Simulator::new(cfg.clone()).run_intra(s.packed.as_ref(), threads);
                 if rep == 0 {
+                    let per = IntraProfile {
+                        name: s.name.clone(),
+                        events: run.stats.events as u64,
+                        chunks: run.stats.chunks as u64,
+                        accepted: run.stats.accepted as u64,
+                        repaired: run.stats.repaired as u64,
+                        conflicts: run.stats.conflicts.clone(),
+                    };
                     out.runs += 1;
-                    out.events += run.stats.events as u64;
-                    out.chunks += run.stats.chunks as u64;
-                    out.accepted += run.stats.accepted as u64;
-                    out.repaired += run.stats.repaired as u64;
-                    for (reason, n) in &run.stats.conflicts {
+                    out.events += per.events;
+                    out.chunks += per.chunks;
+                    out.accepted += per.accepted;
+                    out.repaired += per.repaired;
+                    for (reason, n) in &per.conflicts {
                         match out.conflicts.iter_mut().find(|(r, _)| r == reason) {
                             Some((_, total)) => *total += n,
                             None => out.conflicts.push((reason, *n)),
                         }
                     }
+                    out.per_profile.push(per);
                 }
             }
             out.seconds_nt = out.seconds_nt.min(t.elapsed().as_secs_f64());
@@ -463,7 +601,7 @@ impl Runner {
     pub fn ensure(&mut self, keys: &[ConfigKey]) {
         let mut pairs: Vec<(usize, ConfigKey)> = Vec::new();
         for &key in keys {
-            for i in 0..self.profiles.len() {
+            for i in 0..self.slots.len() {
                 let pair = (i, key);
                 if !self.cache.contains_key(&pair) && !pairs.contains(&pair) {
                     pairs.push(pair);
@@ -473,8 +611,7 @@ impl Runner {
         if pairs.is_empty() {
             return;
         }
-        let profiles = &self.profiles;
-        let packed = &self.packed;
+        let slots = &self.slots;
         let tracing = self.trace.is_some();
         let sampling = self.sampling;
         // Longest-job-first dispatch: the worker pool pops jobs from a
@@ -492,7 +629,7 @@ impl Runner {
                 SimMode::Runahead { .. } => 3,
                 SimMode::Baseline => 2,
             };
-            packed[i].approx_total_instructions() * weight
+            slots[i].packed.approx_total_instructions() * weight
         };
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         order.sort_by(|&a, &b| cost(&pairs[b]).cmp(&cost(&pairs[a])).then(a.cmp(&b)));
@@ -501,19 +638,19 @@ impl Runner {
         let ljf_results = esp_par::parallel_map(self.threads, &ordered, |_, &(i, key)| {
             // Replay the shared packed arena — never the regenerative
             // walk (the equivalence suite pins the two bit-identical).
-            let workload: &PackedWorkload = &packed[i];
+            let workload: &PackedWorkload = &slots[i].packed;
             let sim = Simulator::new(key.config());
             match (sampling, tracing) {
                 (None, false) => (sim.run(workload), Vec::new()),
                 (None, true) => {
-                    let mut probe = TraceProbe::new(profiles[i].name(), key.label());
+                    let mut probe = TraceProbe::new(&slots[i].name, key.label());
                     let report = sim.run_probed(workload, &mut probe);
                     (report, probe.into_bytes())
                 }
                 (Some(p), false) => (sim.run_sampled(workload, p).report, Vec::new()),
                 (Some(p), true) => {
                     let mut probe =
-                        TraceProbe::new(profiles[i].name(), key.label()).with_mode("sampled");
+                        TraceProbe::new(&slots[i].name, key.label()).with_mode("sampled");
                     let run = sim.run_sampled_probed(workload, p, &mut probe);
                     (run.report, probe.into_bytes())
                 }
@@ -561,15 +698,15 @@ impl Runner {
     pub fn cpi_stack_json(&self, indent: &str) -> Option<String> {
         let inner = format!("{indent}  ");
         let mut out = String::from("{\n");
-        for (i, profile) in self.profiles.iter().enumerate() {
+        for (i, slot) in self.slots.iter().enumerate() {
             let base = self.cached(i, ConfigKey::Base)?;
             let esp = self.cached(i, ConfigKey::EspNl)?;
             out.push_str(&format!(
                 "{inner}\"{}\": {{\"base\": {}, \"esp_nl\": {}}}{}\n",
-                profile.name(),
+                slot.name,
                 base.cpi_stack.to_json(),
                 esp.cpi_stack.to_json(),
-                if i + 1 < self.profiles.len() { "," } else { "" },
+                if i + 1 < self.slots.len() { "," } else { "" },
             ));
         }
         out.push_str(indent);
@@ -591,7 +728,7 @@ impl Runner {
     pub fn improvements(&mut self, key: ConfigKey, base: ConfigKey) -> Vec<f64> {
         self.ensure(&[key, base]);
         let mut vals = Vec::new();
-        for i in 0..self.profiles.len() {
+        for i in 0..self.slots.len() {
             let b = self.run(i, base).busy_cycles();
             let t = self.run(i, key).busy_cycles();
             vals.push(esp_stats::improvement_pct(b, t));
@@ -606,7 +743,7 @@ impl Runner {
     pub fn metric(&mut self, key: ConfigKey, metric: impl Fn(&RunReport) -> f64) -> Vec<f64> {
         self.ensure(&[key]);
         let mut vals = Vec::new();
-        for i in 0..self.profiles.len() {
+        for i in 0..self.slots.len() {
             vals.push(metric(self.run(i, key)));
         }
         vals.push(esp_stats::harmonic_mean(&vals));
@@ -675,5 +812,76 @@ mod tests {
         let mut r = Runner::new(20_000, 1);
         let v = r.improvements(ConfigKey::NextLine, ConfigKey::Base);
         assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn with_profiles_covers_the_extended_families() {
+        let r = Runner::with_profiles(&BenchmarkProfile::all_families(), 20_000, 1, 2);
+        let names = r.names();
+        assert_eq!(names.len(), 9);
+        assert!(names.iter().any(|n| n == "serverasync"));
+        assert!(names.iter().any(|n| n == "iotfsm"));
+    }
+
+    #[test]
+    fn from_specs_import_matches_builtin_reports() {
+        // Export one profile, then build two runners — one generating,
+        // one importing — and pin their reports identical.
+        let profile = BenchmarkProfile::by_name("gdocs").unwrap();
+        let dir = std::env::temp_dir().join(format!("esp-runner-import-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gdocs.espt");
+        let scaled = profile.scaled(20_000);
+        let packed = arena::packed_for(&scaled, 1, 2);
+        let meta = esp_trace::espt::TraceMeta {
+            profile: scaled.name().to_string(),
+            scale: 20_000,
+            seed: 1,
+        };
+        esp_trace::espt::write_path(&path, &meta, &packed).unwrap();
+
+        let mut generated = Runner::with_profiles(&[profile], 20_000, 1, 2);
+        let want = generated.run(0, ConfigKey::EspNl).clone();
+
+        arena::reset();
+        let specs = [WorkloadSpec::Import(path.clone())];
+        let mut imported = Runner::from_specs(&specs, 20_000, 1, 2).unwrap();
+        assert_eq!(imported.names(), vec!["gdocs".to_string()]);
+        assert!(
+            imported.workloads().next().is_none(),
+            "imports expose no generative view"
+        );
+        let got = imported.run(0, ConfigKey::EspNl).clone();
+        assert_eq!(format!("{want:#?}"), format!("{got:#?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_specs_surfaces_import_errors() {
+        let specs = [WorkloadSpec::Import("no/such/file.espt".into())];
+        let err = match Runner::from_specs(&specs, 20_000, 1, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("importing a missing file must fail"),
+        };
+        assert!(err.to_string().contains("no/such/file.espt"));
+    }
+
+    #[test]
+    fn intra_scaling_reports_per_profile_tables() {
+        let r = Runner::with_threads(20_000, 1, 1);
+        let intra = r.intra_scaling(2, 1);
+        assert_eq!(intra.per_profile.len(), 7);
+        assert_eq!(
+            intra.per_profile.iter().map(|p| p.chunks).sum::<u64>(),
+            intra.chunks
+        );
+        assert_eq!(
+            intra.per_profile.iter().map(|p| p.repaired).sum::<u64>(),
+            intra.repaired
+        );
+        for p in &intra.per_profile {
+            assert!(!p.name.is_empty());
+            assert!(p.accepted + p.repaired == p.chunks);
+        }
     }
 }

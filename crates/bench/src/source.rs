@@ -1,0 +1,84 @@
+//! Uniform workload resolution for the CLI surfaces.
+//!
+//! `repro explain`, `repro dump`, and `--trace-in` all accept workload
+//! arguments that are either a built-in benchmark family name
+//! ([`esp_workload::BenchmarkProfile::all_families`]) or a path to an
+//! `.espt` trace file (`docs/TRACE_FORMAT.md`). This module is the one
+//! place that decides which is which, so every subcommand resolves
+//! arguments identically.
+
+use esp_workload::BenchmarkProfile;
+use std::path::{Path, PathBuf};
+
+/// One workload a CLI surface asked for: a built-in generator profile,
+/// or an on-disk `.espt` trace to import in its place.
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// A built-in benchmark family, to be scaled and generated.
+    Builtin(BenchmarkProfile),
+    /// A path to an ESPT trace file, to be imported as-is.
+    Import(PathBuf),
+}
+
+impl WorkloadSpec {
+    /// Resolves one CLI argument. Anything that *looks like a file* — a
+    /// `.espt` suffix, a path separator, or an existing file of that
+    /// name — is an import; everything else must be a known family name.
+    ///
+    /// # Errors
+    ///
+    /// [`esp_types::Error::UnknownName`] (from
+    /// [`BenchmarkProfile::by_name`], which lists the known families)
+    /// when the argument is neither a file-looking path nor a family.
+    pub fn resolve(arg: &str) -> esp_types::Result<WorkloadSpec> {
+        if arg.ends_with(".espt")
+            || arg.contains(std::path::MAIN_SEPARATOR)
+            || Path::new(arg).is_file()
+        {
+            Ok(WorkloadSpec::Import(PathBuf::from(arg)))
+        } else {
+            BenchmarkProfile::by_name(arg).map(WorkloadSpec::Builtin)
+        }
+    }
+
+    /// The label shown while this spec is being prepared: the family
+    /// name, or the import path as typed.
+    pub fn describe(&self) -> String {
+        match self {
+            WorkloadSpec::Builtin(p) => p.name().to_string(),
+            WorkloadSpec::Import(path) => path.display().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_resolve_to_builtins() {
+        for p in BenchmarkProfile::all_families() {
+            match WorkloadSpec::resolve(p.name()).expect("known family") {
+                WorkloadSpec::Builtin(b) => assert_eq!(b.name(), p.name()),
+                WorkloadSpec::Import(_) => panic!("{} resolved as import", p.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn espt_suffix_and_paths_resolve_to_imports() {
+        for arg in ["foo.espt", "fixtures/bing.espt", "./amazon"] {
+            match WorkloadSpec::resolve(arg).expect("path-looking args always resolve") {
+                WorkloadSpec::Import(p) => assert_eq!(p, PathBuf::from(arg)),
+                WorkloadSpec::Builtin(_) => panic!("{arg} resolved as builtin"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_family_list() {
+        let err = WorkloadSpec::resolve("netscape").unwrap_err().to_string();
+        assert!(err.contains("netscape"), "names the bad argument: {err}");
+        assert!(err.contains("iotfsm"), "lists the known families: {err}");
+    }
+}

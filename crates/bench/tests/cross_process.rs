@@ -30,9 +30,10 @@ fn dump_is_byte_identical_across_processes() {
     let second = dump(&dir);
     assert_eq!(first, second, "two processes produced different reports");
 
-    // Every profile and every matrix configuration must be present.
+    // Every family — the seven paper profiles plus the server-async and
+    // IoT extras — and every matrix configuration must be present.
     let text = String::from_utf8(first).expect("dump must be UTF-8");
-    for profile in esp_workload::BenchmarkProfile::all() {
+    for profile in esp_workload::BenchmarkProfile::all_families() {
         assert!(
             text.contains(&format!("=== {} / Base ===", profile.name())),
             "missing baseline dump for {}",

@@ -31,6 +31,12 @@
 //!   built on `esp_types::rng`) that samples random simulation points,
 //!   runs the oracle and invariants over them, and greedily shrinks any
 //!   failure to a minimal case rendered as a ready-to-paste test.
+//! * [`espt_fuzz`] — the same discipline aimed at the **ESPT trace
+//!   decoder** (`esp_trace::espt`): seeded structural mutations of a
+//!   valid `.espt` image (truncation, bit flips, wrong magic, forged
+//!   section lengths, trailing bytes, re-sealed checksums) that must all
+//!   come back as structured errors — never a panic, never an
+//!   allocation sized by attacker-controlled lengths.
 //!
 //! The [`json`] module is a dependency-free JSON reader used to validate
 //! the `esp-obs` JSONL trace schema and `BENCH_repro.json` metadata.
@@ -38,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod espt_fuzz;
 pub mod fuzz;
 pub mod json;
 pub mod metamorphic;
 pub mod oracle;
 pub mod sampled;
 
+pub use espt_fuzz::{espt_fuzz_with, render_espt_reproducer, EsptFuzzFailure};
 pub use fuzz::{fuzz_with, render_reproducer, shrink, FuzzCase, FuzzFailure, FuzzMode};
 pub use json::Json;
 pub use oracle::{check_run, OracleProbe, OracleReport};

@@ -26,6 +26,10 @@
 //!   into compact struct-of-arrays storage and replayed by allocation-free
 //!   cursors, shared across simulator configurations (see
 //!   `docs/PERFORMANCE.md`).
+//! * [`espt`] — the versioned on-disk interchange form of a packed
+//!   workload (`.espt` files): export a materialised trace once, import
+//!   and replay it byte-identically without the generator (see
+//!   `docs/TRACE_FORMAT.md`).
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod espt;
 mod instr;
 mod packed;
 mod record;
@@ -55,7 +60,7 @@ mod stream;
 pub use instr::{Instr, InstrKind, INSTR_BYTES};
 pub use packed::{
     kindbits, EventCursor, PackedCursor, PackedEvent, PackedTrace, PackedWorkload, RawStep,
-    TraceArena, WarmSink,
+    RawTraceError, TraceArena, WarmSink,
 };
 pub use record::EventRecord;
 pub use stream::{record_stream, EventStream, ForkStream, VecEventStream, Workload};

@@ -152,6 +152,63 @@ impl RawStep {
     }
 }
 
+/// A structural defect found while validating raw packed arrays
+/// ([`PackedTrace::from_raw_parts`]) — the decode-side contract of the
+/// on-disk ESPT format ([`crate::espt`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RawTraceError {
+    /// A kind byte set one of the reserved high bits (5..=7), which v1
+    /// of the encoding defines as zero.
+    ReservedKindBits {
+        /// Index of the offending instruction.
+        index: u64,
+        /// The raw kind byte.
+        kind: u8,
+    },
+    /// The operand array ran out before the kind bytes' demand was met.
+    MissingOperands {
+        /// Operand slots the kind bytes consume.
+        expected: u64,
+        /// Operand words actually present.
+        found: u64,
+    },
+    /// The operand array holds words no kind byte consumes.
+    ExtraOperands {
+        /// Operand slots the kind bytes consume.
+        expected: u64,
+        /// Operand words actually present.
+        found: u64,
+    },
+    /// Re-deriving program counters overflowed the 64-bit address space;
+    /// no generated or recorded trace does this, so the input is corrupt.
+    PcOverflow {
+        /// Index of the instruction whose sequential pc overflowed.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for RawTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RawTraceError::ReservedKindBits { index, kind } => {
+                write!(f, "instruction {index}: kind byte {kind:#04x} sets reserved bits")
+            }
+            RawTraceError::MissingOperands { expected, found } => {
+                write!(f, "operand array too short: kind bytes demand {expected} words, found {found}")
+            }
+            RawTraceError::ExtraOperands { expected, found } => {
+                write!(f, "operand array too long: kind bytes demand {expected} words, found {found}")
+            }
+            RawTraceError::PcOverflow { index } => {
+                write!(f, "instruction {index}: sequential pc overflows the address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RawTraceError {}
+
 /// One instruction stream in struct-of-arrays form.
 ///
 /// Layout: `kinds` holds one byte per instruction; `ops` holds one `u64`
@@ -226,6 +283,86 @@ impl PackedTrace {
             t.push(i);
         }
         t
+    }
+
+    /// The pc of the first instruction (0 for an empty trace) — the
+    /// anchor every replay cursor re-derives pcs from.
+    pub fn start_pc(&self) -> u64 {
+        self.start_pc
+    }
+
+    /// The raw kind bytes, one per instruction, in the [`kindbits`]
+    /// encoding. Together with [`PackedTrace::op_words`] and
+    /// [`PackedTrace::start_pc`] this is the complete serialised form of
+    /// the trace; [`PackedTrace::from_raw_parts`] is the inverse.
+    pub fn kind_bytes(&self) -> &[u8] {
+        &self.kinds
+    }
+
+    /// The raw operand words in stream order (explicit pcs interleaved
+    /// where the [`kindbits::EXPLICIT_PC`] flag is set).
+    pub fn op_words(&self) -> &[u64] {
+        &self.ops
+    }
+
+    /// Reassembles a trace from its raw serialised arrays, validating
+    /// the structural invariants replay relies on: no reserved kind
+    /// bits, operand supply exactly matching the kind bytes' demand, and
+    /// no pc overflow anywhere along the re-derived control flow. A
+    /// trace accepted here replays safely with every cursor in this
+    /// module and re-serialises to the identical arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RawTraceError`] naming the first violated invariant.
+    pub fn from_raw_parts(start_pc: u64, kinds: Vec<u8>, ops: Vec<u64>) -> Result<Self, RawTraceError> {
+        // Demand pass: how many operand words do the kind bytes consume?
+        let mut demand: u64 = 0;
+        for (i, &kind) in kinds.iter().enumerate() {
+            if kind & !(TAG_MASK | FLAG_BIT | EXPLICIT_PC) != 0 {
+                return Err(RawTraceError::ReservedKindBits { index: i as u64, kind });
+            }
+            if kind & EXPLICIT_PC != 0 {
+                demand += 1;
+            }
+            if kind & TAG_MASK != TAG_ALU {
+                demand += 1;
+            }
+        }
+        let found = ops.len() as u64;
+        if demand > found {
+            return Err(RawTraceError::MissingOperands { expected: demand, found });
+        }
+        if demand < found {
+            return Err(RawTraceError::ExtraOperands { expected: demand, found });
+        }
+        // Replay pass: mirror `PackedCursor::next_raw` with checked
+        // arithmetic, landing on the trace's final expected pc. Replay
+        // cursors repeat exactly this arithmetic unchecked, so passing
+        // here guarantees they cannot overflow.
+        let mut pc = start_pc;
+        let mut op_idx = 0usize;
+        for (i, &kind) in kinds.iter().enumerate() {
+            if kind & EXPLICIT_PC != 0 {
+                pc = ops[op_idx];
+                op_idx += 1;
+            }
+            let tag = kind & TAG_MASK;
+            let op = if tag == TAG_ALU {
+                0
+            } else {
+                let v = ops[op_idx];
+                op_idx += 1;
+                v
+            };
+            pc = if tag < TAG_COND || (tag == TAG_COND && kind & FLAG_BIT == 0) {
+                pc.checked_add(INSTR_BYTES)
+                    .ok_or(RawTraceError::PcOverflow { index: i as u64 })?
+            } else {
+                op
+            };
+        }
+        Ok(PackedTrace { start_pc, kinds, ops, expect_pc: pc })
     }
 
     /// The number of instructions stored.
@@ -532,6 +669,12 @@ impl PackedEvent {
     /// The recorded divergence point, if any.
     pub fn diverge_at(&self) -> Option<u64> {
         self.diverge_at
+    }
+
+    /// The recorded speculative tail (empty when the event never
+    /// diverges within its budget).
+    pub fn spec_tail(&self) -> &PackedTrace {
+        &self.spec_tail
     }
 
     /// Opens a cursor over the actual stream.
@@ -997,6 +1140,56 @@ mod tests {
             assert_eq!(sink.stores, want.stores);
             assert_eq!(sink.branches, want.branches);
         }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_rebuilds_equal_traces() {
+        for v in [consistent(), discontinuous(), Vec::new()] {
+            let p = PackedTrace::from_instrs(&v);
+            let q = PackedTrace::from_raw_parts(
+                p.start_pc(),
+                p.kind_bytes().to_vec(),
+                p.op_words().to_vec(),
+            )
+            .expect("serialised arrays of a built trace must validate");
+            // Derived PartialEq covers expect_pc: the validation walk
+            // must land on the same final pc the builder recorded.
+            assert_eq!(p, q);
+            assert_eq!(record_stream(&mut q.cursor(), usize::MAX), v);
+        }
+    }
+
+    #[test]
+    fn raw_parts_rejects_structural_defects() {
+        let p = PackedTrace::from_instrs(&consistent());
+        let (pc, kinds, ops) = (p.start_pc(), p.kind_bytes().to_vec(), p.op_words().to_vec());
+
+        let mut reserved = kinds.clone();
+        reserved[0] |= 0b0010_0000;
+        assert!(matches!(
+            PackedTrace::from_raw_parts(pc, reserved, ops.clone()),
+            Err(RawTraceError::ReservedKindBits { index: 0, .. })
+        ));
+
+        let mut short = ops.clone();
+        short.pop();
+        assert!(matches!(
+            PackedTrace::from_raw_parts(pc, kinds.clone(), short),
+            Err(RawTraceError::MissingOperands { .. })
+        ));
+
+        let mut long = ops.clone();
+        long.push(7);
+        assert!(matches!(
+            PackedTrace::from_raw_parts(pc, kinds.clone(), long),
+            Err(RawTraceError::ExtraOperands { .. })
+        ));
+
+        // An ALU at the top of the address space cannot advance.
+        assert!(matches!(
+            PackedTrace::from_raw_parts(u64::MAX - 1, vec![TAG_ALU], vec![]),
+            Err(RawTraceError::PcOverflow { index: 0 })
+        ));
     }
 
     #[test]

@@ -77,13 +77,16 @@ impl GeneratedWorkload {
     }
 }
 
-/// Cache key: profile name, target instruction scale, generation seed —
-/// everything [`BenchmarkProfile::scaled`] + [`BenchmarkProfile::build`]
-/// depend on.
-type Key = (&'static str, u64, u64);
+/// Cache key: profile (or imported-trace) name, target instruction
+/// scale, generation seed — everything [`BenchmarkProfile::scaled`] +
+/// [`BenchmarkProfile::build`] depend on, and exactly the provenance
+/// triple an ESPT file's META section carries.
+type Key = (String, u64, u64);
 
 struct Entry {
-    generated: Arc<GeneratedWorkload>,
+    /// Present for workloads this process generated; `None` for arenas
+    /// seated from an imported trace file.
+    generated: Option<Arc<GeneratedWorkload>>,
     packed: Option<Arc<PackedWorkload>>,
 }
 
@@ -93,7 +96,7 @@ fn cache() -> &'static Mutex<HashMap<Key, Entry>> {
 }
 
 fn key_of(profile: &BenchmarkProfile, seed: u64) -> Key {
-    (profile.name(), profile.params().target_instructions, seed)
+    (profile.name().to_string(), profile.params().target_instructions, seed)
 }
 
 /// Returns the memoised generated workload for `profile` (already
@@ -103,15 +106,20 @@ fn key_of(profile: &BenchmarkProfile, seed: u64) -> Key {
 /// build the same deterministic workload and the first insert wins.
 pub fn generated(profile: &BenchmarkProfile, seed: u64) -> Arc<GeneratedWorkload> {
     let key = key_of(profile, seed);
-    if let Some(e) = cache().lock().expect("arena cache poisoned").get(&key) {
-        return e.generated.clone();
+    if let Some(g) = cache()
+        .lock()
+        .expect("arena cache poisoned")
+        .get(&key)
+        .and_then(|e| e.generated.clone())
+    {
+        return g;
     }
     let built = Arc::new(profile.build(seed));
     let mut map = cache().lock().expect("arena cache poisoned");
-    map.entry(key)
-        .or_insert(Entry { generated: built, packed: None })
-        .generated
-        .clone()
+    let entry = map
+        .entry(key)
+        .or_insert(Entry { generated: None, packed: None });
+    entry.generated.get_or_insert(built).clone()
 }
 
 /// Hands an already-built workload to the cache and returns its memoised
@@ -139,15 +147,60 @@ pub fn packed(
     let mut map = cache().lock().expect("arena cache poisoned");
     let entry = map
         .entry(key)
-        .or_insert(Entry { generated: workload.clone(), packed: None });
+        .or_insert(Entry { generated: Some(workload.clone()), packed: None });
     entry.packed.get_or_insert(built).clone()
 }
 
 /// The memoised packed workload for `profile` (already scaled) and
 /// `seed`: generates and materialises on first use, warm afterwards.
+/// If an imported trace was seated under the same (name, scale, seed)
+/// triple, the import substitutes for generation and is returned
+/// directly.
 pub fn packed_for(profile: &BenchmarkProfile, seed: u64, threads: usize) -> Arc<PackedWorkload> {
+    if let Some(p) = cache()
+        .lock()
+        .expect("arena cache poisoned")
+        .get(&key_of(profile, seed))
+        .and_then(|e| e.packed.clone())
+    {
+        return p;
+    }
     let w = generated(profile, seed);
     packed(profile, &w, seed, threads)
+}
+
+/// Seats an already-deserialised imported workload in the memo under
+/// its provenance triple, without generating anything. The first arena
+/// seated for a key wins: if the key is already occupied (by an earlier
+/// import *or* a materialised generation), that resident arena is
+/// returned instead — "import replaces generation" therefore requires
+/// importing before the first simulation touches the key, which the
+/// `--trace-in` flow does.
+pub fn insert_imported(
+    meta: &esp_trace::espt::TraceMeta,
+    workload: Arc<PackedWorkload>,
+) -> Arc<PackedWorkload> {
+    let key = (meta.profile.clone(), meta.scale, meta.seed);
+    let mut map = cache().lock().expect("arena cache poisoned");
+    let entry = map
+        .entry(key)
+        .or_insert(Entry { generated: None, packed: None });
+    entry.packed.get_or_insert(workload).clone()
+}
+
+/// Reads an ESPT trace file and seats its workload in the memo (see
+/// [`insert_imported`]). Returns the file's provenance and the resident
+/// (seated or pre-existing) arena.
+///
+/// # Errors
+///
+/// Any [`esp_trace::espt::EsptError`] from decoding the file.
+pub fn import<P: AsRef<std::path::Path>>(
+    path: P,
+) -> Result<(esp_trace::espt::TraceMeta, Arc<PackedWorkload>), esp_trace::espt::EsptError> {
+    let (meta, workload) = esp_trace::espt::read_path(path)?;
+    let seated = insert_imported(&meta, Arc::new(workload));
+    Ok((meta, seated))
 }
 
 /// Drops every cached workload and arena (tests and memory-pressure
@@ -241,6 +294,61 @@ mod tests {
         reset();
         let g4 = generated(&pr, 5);
         assert!(!Arc::ptr_eq(&g1, &g4), "reset must drop entries");
+    }
+
+    #[test]
+    fn imported_arena_substitutes_for_generation() {
+        reset();
+        let pr = BenchmarkProfile::iot_fsm().scaled(20_000);
+        let built = packed_for(&pr, 3, 1);
+        let meta = esp_trace::espt::TraceMeta {
+            profile: pr.name().to_string(),
+            scale: 20_000,
+            seed: 3,
+        };
+        let mut bytes = Vec::new();
+        esp_trace::espt::write(&mut bytes, &meta, &built).unwrap();
+
+        // In a fresh memo, the seated import must be what packed_for
+        // hands out — generation bypassed entirely.
+        reset();
+        let (m2, decoded) = esp_trace::espt::read(&bytes[..]).unwrap();
+        assert_eq!(m2, meta);
+        let seated = insert_imported(&m2, Arc::new(decoded));
+        let served = packed_for(&pr, 3, 1);
+        assert!(Arc::ptr_eq(&seated, &served), "import must replace generation");
+        assert_eq!(served.events(), built.events());
+        for i in 0..built.arena().len() {
+            assert_eq!(served.arena().event(i), built.arena().event(i), "event {i}");
+        }
+
+        // First seat wins: a second import of the same triple returns
+        // the resident arena.
+        let (m3, decoded3) = esp_trace::espt::read(&bytes[..]).unwrap();
+        let seated3 = insert_imported(&m3, Arc::new(decoded3));
+        assert!(Arc::ptr_eq(&seated, &seated3));
+        reset();
+    }
+
+    #[test]
+    fn import_reads_and_seats_from_a_file() {
+        reset();
+        let pr = BenchmarkProfile::server_async().scaled(15_000);
+        let built = packed_for(&pr, 8, 1);
+        let meta = esp_trace::espt::TraceMeta {
+            profile: pr.name().to_string(),
+            scale: 15_000,
+            seed: 8,
+        };
+        let path = std::env::temp_dir().join("esp_arena_import_test.espt");
+        esp_trace::espt::write_path(&path, &meta, &built).unwrap();
+        reset();
+        let (m, seated) = import(&path).unwrap();
+        assert_eq!(m, meta);
+        assert_eq!(seated.events(), built.events());
+        assert!(Arc::ptr_eq(&seated, &packed_for(&pr, 8, 1)));
+        std::fs::remove_file(&path).ok();
+        reset();
     }
 
     #[test]

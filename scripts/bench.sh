@@ -4,8 +4,9 @@
 #   ./scripts/bench.sh            # the documented scale-600000 run
 #   ./scripts/bench.sh --repeat 5 # extra repetitions on a noisy host
 #
-# The bench runs the full evaluation matrix (7 profiles x 29 configs =
-# 203 simulations) three times: pass 1 cold on one thread (generate +
+# The bench runs the full evaluation matrix (9 families x 29 configs =
+# 261 simulations: the paper's 7 profiles plus serverasync and iotfsm)
+# three times: pass 1 cold on one thread (generate +
 # materialise + simulate), pass 2 warm on all cores (arena reused;
 # skipped with a JSON note when only one core is visible), pass 3 warm
 # in statistical-sampling mode with a sampled-vs-exact CPI error
@@ -13,7 +14,11 @@
 # profile's single baseline run chunked over --intra-threads workers
 # with deterministic merge (docs/PARALLELISM.md); its chunk/conflict
 # accounting and serial-vs-chunked single-run throughput land under
-# "intra". Exact and sampled throughput both land in
+# "intra" (with a per-family conflict table under "intra".per_profile).
+# A final trace-I/O pass exports every family to .espt files, clears
+# the arena memo, re-imports them, and records the wall times under
+# "trace_io" next to the generate/materialise phase seconds the import
+# path replaces (docs/TRACE_FORMAT.md). Exact and sampled throughput both land in
 # BENCH_repro.json, as sims/s and as MIPS (instructions simulated —
 # retired plus speculative — per wall-second; the sampled block reports
 # *effective* MIPS and is tagged with the scale its error was measured

@@ -19,7 +19,13 @@ echo "== lint: cargo clippy --all-targets (warnings denied) =="
 cargo clippy --all-targets --quiet -- -D warnings
 
 echo "== correctness: oracle matrix + seeded fuzz smoke (esp-check) =="
+# check also fuzzes the ESPT trace decoder (--fuzz-espt, default 500
+# structural mutations; docs/TRACE_FORMAT.md).
 cargo run --release -q -p esp-bench --bin repro -- --scale 30000 --fuzz 8 check
+
+echo "== trace conformance: golden fixtures + import == generate (ESPT) =="
+cargo test -q --release --test espt_conformance
+cargo test -q --release -p esp-bench --test trace_import_equivalence
 
 echo "== determinism: parallel runner == sequential simulation =="
 cargo test -q --release -p esp-bench --test determinism

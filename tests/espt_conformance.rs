@@ -1,0 +1,171 @@
+//! ESPT container conformance suite.
+//!
+//! The golden fixtures under `tests/fixtures/` are committed byte-exact
+//! `.espt` files (written by `repro dump --trace-out` at scale 6000,
+//! seed 11). They pin the version-1 container format: this suite fails
+//! if the encoder drifts (re-encode stops being byte-identical), if the
+//! decoder stops accepting v1 files written by an older build, or if
+//! corruption and version skew stop producing the documented structured
+//! errors. The full byte layout is specified in `docs/TRACE_FORMAT.md`.
+
+use event_sneak_peek::trace::espt::{self, EsptError};
+use event_sneak_peek::trace::Workload;
+use std::path::PathBuf;
+
+/// `(file, byte length, FNV-1a-64 of the whole file)` for every golden
+/// fixture. The hash covers the footer too, so any regeneration of the
+/// fixtures shows up here before it shows up anywhere subtler.
+const GOLDEN: &[(&str, usize, u64)] = &[
+    ("gdocs.espt", 54_390, 0xf1d1_7510_9bad_264c),
+    ("iotfsm.espt", 44_663, 0xc77d_e649_e2f0_b942),
+    ("serverasync.espt", 55_228, 0x3d68_66e2_0ef3_2681),
+];
+
+/// Scale and seed the fixtures were exported at (pinned in their META
+/// sections).
+const FIXTURE_SCALE: u64 = 6_000;
+const FIXTURE_SEED: u64 = 11;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+fn fixture_bytes(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"))
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Recompute and overwrite the footer checksum so deliberate header
+/// mutations (e.g. a bumped version field) reach the field validators
+/// instead of tripping the checksum first.
+fn reseal(img: &mut [u8]) {
+    let n = img.len();
+    assert!(n > 8, "image too short to carry a footer");
+    let sum = fnv1a64(&img[..n - 8]);
+    img[n - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// The committed fixtures are byte-exact (length + whole-file FNV-1a)
+/// and still decode into workloads with the pinned provenance.
+#[test]
+fn golden_fixtures_are_pinned_and_decode() {
+    for &(name, len, hash) in GOLDEN {
+        let bytes = fixture_bytes(name);
+        assert_eq!(bytes.len(), len, "{name}: fixture length drifted");
+        assert_eq!(
+            fnv1a64(&bytes),
+            hash,
+            "{name}: fixture bytes drifted (FNV-1a {:#018x})",
+            fnv1a64(&bytes)
+        );
+        let (meta, packed) =
+            espt::read(bytes.as_slice()).unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+        let stem = name.strip_suffix(".espt").unwrap();
+        assert_eq!(meta.profile, stem, "{name}: META profile");
+        assert_eq!(meta.scale, FIXTURE_SCALE, "{name}: META scale");
+        assert_eq!(meta.seed, FIXTURE_SEED, "{name}: META seed");
+        assert!(!packed.events().is_empty(), "{name}: no events");
+    }
+}
+
+/// decode → encode reproduces every fixture byte-for-byte: the writer
+/// has no hidden nondeterminism and the reader loses no information.
+#[test]
+fn re_encode_is_byte_identical() {
+    for &(name, _, _) in GOLDEN {
+        let bytes = fixture_bytes(name);
+        let (meta, packed) = espt::read(bytes.as_slice()).expect("golden fixture must decode");
+        let mut out = Vec::new();
+        let written = espt::write(&mut out, &meta, &packed).expect("re-encode failed");
+        assert_eq!(written as usize, out.len(), "{name}: write() return value");
+        assert_eq!(out, bytes, "{name}: re-encode is not byte-identical");
+    }
+}
+
+/// A file declaring a future format version is rejected with a
+/// diagnostic naming both the expected and the found version — not
+/// misparsed, not accepted.
+#[test]
+fn future_version_is_rejected_naming_both_versions() {
+    let mut img = fixture_bytes(GOLDEN[0].0);
+    // Version field sits at bytes 4..8 of the header (after the magic).
+    img[4..8].copy_from_slice(&2u32.to_le_bytes());
+    reseal(&mut img);
+    match espt::read(img.as_slice()) {
+        Err(EsptError::UnsupportedVersion { expected, found }) => {
+            assert_eq!(expected, espt::VERSION);
+            assert_eq!(found, 2);
+            let msg = EsptError::UnsupportedVersion { expected, found }.to_string();
+            assert!(
+                msg.contains("expected 1") && msg.contains("found 2"),
+                "diagnostic must name both versions: {msg}"
+            );
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+/// Flipping a payload byte is caught by the footer checksum before the
+/// payload is ever interpreted.
+#[test]
+fn corrupt_payload_is_rejected_by_checksum() {
+    let mut img = fixture_bytes(GOLDEN[1].0);
+    let mid = img.len() / 2;
+    img[mid] ^= 0x40;
+    match espt::read(img.as_slice()) {
+        Err(EsptError::ChecksumMismatch { computed, stored }) => {
+            assert_ne!(computed, stored);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+/// Truncation anywhere — mid-header or mid-payload — comes back as a
+/// structured `Truncated` (or `Io` for an empty reader), never a panic.
+#[test]
+fn truncation_is_rejected_everywhere() {
+    let img = fixture_bytes(GOLDEN[2].0);
+    for keep in [0usize, 3, 15, 63, 64, 200, img.len() / 2, img.len() - 1] {
+        match espt::read(&img[..keep]) {
+            Err(EsptError::Truncated { .. }) | Err(EsptError::Io(_)) => {}
+            Err(EsptError::BadMagic { .. }) if keep < 4 => {}
+            other => panic!("prefix of {keep} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// Bytes after the footer are reported, not silently ignored.
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut img = fixture_bytes(GOLDEN[0].0);
+    img.extend_from_slice(&[0xEE; 7]);
+    match espt::read(img.as_slice()) {
+        Err(EsptError::TrailingBytes { extra }) => assert_eq!(extra, 7),
+        other => panic!("expected TrailingBytes, got {other:?}"),
+    }
+}
+
+/// A wrong magic is diagnosed as "not an ESPT file", echoing the bytes
+/// actually found.
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut img = fixture_bytes(GOLDEN[0].0);
+    img[..4].copy_from_slice(b"ELFF");
+    reseal(&mut img);
+    match espt::read(img.as_slice()) {
+        Err(EsptError::BadMagic { found }) => assert_eq!(&found, b"ELFF"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
