@@ -25,12 +25,14 @@ fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
     println!("{name:<24} {:>10.3} ms/iter (min of {iters})", best * 1e3);
 }
 
+type FigureCase = (&'static str, fn(&mut Runner) -> esp_bench::FigureReport);
+
 fn main() {
     let iters: u32 = std::env::args()
         .skip(1)
         .find_map(|a| a.parse().ok())
         .unwrap_or(DEFAULT_ITERS);
-    let cases: Vec<(&str, fn(&mut Runner) -> esp_bench::FigureReport)> = vec![
+    let cases: Vec<FigureCase> = vec![
         ("fig3_potential", figures::fig3),
         ("fig9_esp_vs_runahead", figures::fig9),
         ("fig10_sources", figures::fig10),

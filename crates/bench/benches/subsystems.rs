@@ -52,7 +52,7 @@ fn bench_branch(iters: u32) {
         let mut correct = 0u32;
         for _ in 0..10_000 {
             let pc = Addr::new(0x1000 + (i % 512) * 24);
-            let taken = (i / 7) % 3 != 0;
+            let taken = !(i / 7).is_multiple_of(3);
             let instr = Instr::cond_branch(pc, taken, Addr::new(0x4000));
             if bp.predict_and_update(PredictorContext::Normal, &instr).is_correct() {
                 correct += 1;

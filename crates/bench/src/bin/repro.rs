@@ -73,7 +73,7 @@
 //! build without the sampling engine.
 
 use esp_bench::{explain, figures, ConfigKey, Runner, WorkloadSpec};
-use esp_core::SampleParams;
+use esp_core::{LearnParams, ModelKind, SampleParams};
 use esp_trace::Workload;
 use esp_workload::BenchmarkProfile;
 use std::path::{Path, PathBuf};
@@ -95,6 +95,8 @@ fn main() -> ExitCode {
     let mut espt_fuzz_cases: usize = 500;
     let mut sample_period: Option<u64> = None;
     let mut sample_grain: u64 = SampleParams::default().grain_instrs;
+    let mut learn = false;
+    let mut learn_params = LearnParams::default();
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -150,12 +152,52 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => sample_grain = v,
                 _ => return usage("--sample-grain needs a positive integer"),
             },
+            "--learn" => learn = true,
+            "--learn-model" => match args.next().as_deref().and_then(ModelKind::parse) {
+                Some(m) => {
+                    learn = true;
+                    learn_params.model = m;
+                }
+                None => return usage("--learn-model needs 'ridge' or 'gbm'"),
+            },
+            "--learn-train" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    learn = true;
+                    learn_params.train_stretches = v;
+                }
+                _ => return usage("--learn-train needs an integer >= 1"),
+            },
+            "--learn-suffix" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    learn = true;
+                    learn_params.warm_suffix_grains = v;
+                }
+                _ => return usage("--learn-suffix needs an integer >= 1"),
+            },
+            "--learn-bound" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v.is_finite() => {
+                    learn = true;
+                    learn_params.residual_bound_pct = v;
+                }
+                _ => return usage("--learn-bound needs a positive number of percent"),
+            },
             "--help" | "-h" => return usage(""),
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
         return usage("no figure selected");
+    }
+    // Learned fast-forwarding refines the sampled mode, so the flags are
+    // meaningless without a sampling period; catch both bad combinations
+    // and bad parameter values before any workload generation happens.
+    if learn {
+        if sample_period.is_none() && wanted.first().map(String::as_str) != Some("bench") {
+            return usage("learned fast-forwarding requires sampling mode (--sample-period)");
+        }
+        if let Err(e) = learn_params.validate() {
+            return usage(&e);
+        }
     }
     // `explain` consumes the rest of the positional arguments as
     // benchmark names or `.espt` trace paths, resolved (like figure
@@ -192,6 +234,7 @@ fn main() -> ExitCode {
                 repeat,
                 sample_grain,
                 sample_period,
+                learn_params,
             )
         }
         _ => {}
@@ -246,6 +289,17 @@ fn main() -> ExitCode {
             "# sampling mode: grain {} instrs, period {} (measuring 1/{} of each run)",
             params.grain_instrs, params.period, params.period
         );
+        if learn {
+            runner.set_learned(Some(learn_params));
+            eprintln!(
+                "# learned fast-forwarding: {:?} model, {} training stretches, \
+                 {}-grain warm suffix, {}% residual bound",
+                learn_params.model,
+                learn_params.train_stretches,
+                learn_params.warm_suffix_grains,
+                learn_params.residual_bound_pct
+            );
+        }
     }
 
     // Attach the trace sink before any simulation runs; refuse paths we
@@ -497,7 +551,12 @@ fn check(scale: u64, seed: u64, fuzz_cases: usize, espt_fuzz_cases: usize) -> Ex
 /// `--sample-period`, defaulting to the documented operating point) and
 /// cross-checks its CPI against the exact reports of every profile ×
 /// {base, runahead, esp_nl} — the per-profile error table goes to
-/// stderr, the max/mean to the JSON. Each pass is repeated `--repeat`
+/// stderr and to the JSON (`sampled.per_profile`), the max/mean to the
+/// JSON. Pass 3b repeats the sampled protocol with learned
+/// fast-forwarding on top (`--learn-*` to override the model and its
+/// operating point) and records its throughput, speedups over exact and
+/// plain sampling, error envelope, mean skip fraction, and the
+/// fallback-ladder counters. Each pass is repeated `--repeat`
 /// times (default 3) and the fastest repetition is recorded — the
 /// standard protocol for shared machines, where the minimum is the run
 /// least disturbed by background load (every repetition simulates the
@@ -518,6 +577,7 @@ fn bench(
     repeat: usize,
     sample_grain: u64,
     sample_period: Option<u64>,
+    learn_params: LearnParams,
 ) -> ExitCode {
     let cores = esp_par::threads();
     let threads_nt = threads.unwrap_or(cores);
@@ -626,10 +686,12 @@ fn bench(
     let mut exact = Runner::with_profiles(&families, scale, seed, 1);
     exact.ensure(&MATRIX);
     let mut errs: Vec<f64> = Vec::new();
+    let mut per_profile_rows: Vec<String> = Vec::new();
     eprintln!("# sampled CPI error vs exact (per profile; base / runahead / esp_nl):");
     for (i, name) in exact.names().iter().enumerate() {
         let mut row = format!("#   {name:<11}");
-        for key in MATRIX {
+        let mut cells: Vec<String> = Vec::new();
+        for (key, jkey) in MATRIX.into_iter().zip(["base", "runahead", "esp_nl"]) {
             let e = exact.cached(i, key).expect("ensured");
             let s = sampled.cached(i, key).expect("ensured");
             let e_cpi = e.busy_cycles() as f64 / e.engine.retired as f64;
@@ -637,12 +699,78 @@ fn bench(
             let err = 100.0 * (s_cpi - e_cpi) / e_cpi;
             errs.push(err);
             row.push_str(&format!(" {err:+6.2}%"));
+            cells.push(format!("\"{jkey}\": {err:.3}"));
         }
         eprintln!("{row}");
+        per_profile_rows.push(format!("\"{name}\": {{{}}}", cells.join(", ")));
     }
     let max_err = errs.iter().fold(0f64, |m, e| m.max(e.abs()));
     let mean_err = errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64;
     eprintln!("# sampled error: max |{max_err:.2}|%, mean |{mean_err:.2}|% over {} cells", errs.len());
+    let per_profile_json = per_profile_rows.join(",\n      ");
+
+    // Pass 3b: the same sampled matrix with learned fast-forwarding on
+    // top — skipped stretches replace most of the functional-warming
+    // walk, which pass 3 showed is where sampled time goes. Timed under
+    // the identical warm/1-thread protocol so "learned vs sampled" is a
+    // like-for-like simulate-phase ratio.
+    eprintln!(
+        "# bench pass 3b: learned ({:?} model, train {}, suffix {}, bound {}%), \
+         warm, 1 thread, best of {repeat}...",
+        learn_params.model,
+        learn_params.train_stretches,
+        learn_params.warm_suffix_grains,
+        learn_params.residual_bound_pct
+    );
+    let mut best_l: Option<(f64, esp_bench::PhaseSeconds)> = None;
+    let mut learned_runner: Option<Runner> = None;
+    for rep in 1..=repeat {
+        let t = Instant::now();
+        let mut r = Runner::with_profiles(&families, scale, seed, 1);
+        r.set_sampling(Some(sp));
+        r.set_learned(Some(learn_params));
+        r.ensure(ConfigKey::all());
+        let total = t.elapsed().as_secs_f64();
+        eprintln!("#   rep {rep}: {total:.2}s ({:.3} sims/s)", sims as f64 / total.max(1e-9));
+        if best_l.as_ref().is_none_or(|(b, _)| total < *b) {
+            best_l = Some((total, r.phase_seconds()));
+        }
+        learned_runner = Some(r);
+    }
+    let (total_l, phases_l) = best_l.expect("repeat >= 1");
+    let learned = learned_runner.expect("repeat >= 1");
+    let speedup_l = phases.simulate / phases_l.simulate.max(1e-9);
+    let speedup_l_vs_s = phases_s.simulate / phases_l.simulate.max(1e-9);
+    eprintln!(
+        "# pass 3b: {sims} sims in {total_l:.2}s (simulate {:.2}s: {speedup_l:.2}x vs exact, \
+         {speedup_l_vs_s:.2}x vs sampled)",
+        phases_l.simulate
+    );
+    let mut errs_l: Vec<f64> = Vec::new();
+    eprintln!("# learned CPI error vs exact (per profile; base / runahead / esp_nl):");
+    for (i, name) in exact.names().iter().enumerate() {
+        let mut row = format!("#   {name:<11}");
+        for key in MATRIX {
+            let e = exact.cached(i, key).expect("ensured");
+            let l = learned.cached(i, key).expect("ensured");
+            let e_cpi = e.busy_cycles() as f64 / e.engine.retired as f64;
+            let l_cpi = l.busy_cycles() as f64 / l.engine.retired as f64;
+            let err = 100.0 * (l_cpi - e_cpi) / e_cpi;
+            errs_l.push(err);
+            row.push_str(&format!(" {err:+6.2}%"));
+        }
+        eprintln!("{row}");
+    }
+    let max_err_l = errs_l.iter().fold(0f64, |m, e| m.max(e.abs()));
+    let mean_err_l = errs_l.iter().map(|e| e.abs()).sum::<f64>() / errs_l.len() as f64;
+    let (skip_frac, fb_rate, n_disabled, n_rerun) =
+        learned.learned_summary().unwrap_or((0.0, 0.0, 0, 0));
+    eprintln!(
+        "# learned error: max |{max_err_l:.2}|%, mean |{mean_err_l:.2}|% over {} cells; \
+         skip fraction {skip_frac:.3}, fallback rate {fb_rate:.4}, \
+         {n_disabled} disabled, {n_rerun} rerun",
+        errs_l.len()
+    );
 
     // Pass 4: intra-run (single-run) scaling — the second parallelism
     // axis (docs/PARALLELISM.md). Each profile's single run is chunked
@@ -769,7 +897,18 @@ fn bench(
          \"total_seconds\": {total_s:.3}, \"simulate_seconds\": {:.3}, \
          \"sims_per_sec\": {:.3}, \"effective_mips\": {effective_mips:.3},\n    \
          \"simulate_speedup_vs_exact\": {speedup:.3}, \
-         \"max_cpi_error_pct\": {max_err:.3}, \"mean_cpi_error_pct\": {mean_err:.3}}}\n}}\n",
+         \"max_cpi_error_pct\": {max_err:.3}, \"mean_cpi_error_pct\": {mean_err:.3},\n    \
+         \"per_profile\": {{\n      {per_profile_json}\n    }}}},\n  \
+         \"learned\": {{\"scale\": {scale}, \"model\": \"{}\", \
+         \"train_stretches\": {}, \"warm_suffix_grains\": {}, \
+         \"residual_bound_pct\": {},\n    \
+         \"sims\": {sims}, \"total_seconds\": {total_l:.3}, \
+         \"simulate_seconds\": {:.3}, \"sims_per_sec\": {:.3},\n    \
+         \"simulate_speedup_vs_exact\": {speedup_l:.3}, \
+         \"simulate_speedup_vs_sampled\": {speedup_l_vs_s:.3},\n    \
+         \"max_cpi_error_pct\": {max_err_l:.3}, \"mean_cpi_error_pct\": {mean_err_l:.3},\n    \
+         \"skip_fraction\": {skip_frac:.4}, \"fallback_rate\": {fb_rate:.5}, \
+         \"disabled_runs\": {n_disabled}, \"rerun_full_runs\": {n_rerun}}}\n}}\n",
         sims as f64 / total_1t.max(1e-9),
         sims as f64 / total_1t.max(1e-9),
         phases.generate,
@@ -779,6 +918,12 @@ fn bench(
         sp.period,
         phases_s.simulate,
         sims as f64 / total_s.max(1e-9),
+        format!("{:?}", learn_params.model).to_lowercase(),
+        learn_params.train_stretches,
+        learn_params.warm_suffix_grains,
+        learn_params.residual_bound_pct,
+        phases_l.simulate,
+        sims as f64 / total_l.max(1e-9),
     );
     match std::fs::write("BENCH_repro.json", &json) {
         Ok(()) => {
@@ -882,8 +1027,10 @@ fn write_bench_json(runner: &mut Runner, total_seconds: f64, cpi_stack: bool, fo
     // so its throughput is never confused with the exact trajectory.
     let mode_section = match runner.sampling() {
         Some(p) => format!(
-            ",\n  \"mode\": \"sampled\", \"sample_grain\": {}, \"sample_period\": {}",
-            p.grain_instrs, p.period
+            ",\n  \"mode\": \"{}\", \"sample_grain\": {}, \"sample_period\": {}",
+            if runner.learned().is_some() { "learned" } else { "sampled" },
+            p.grain_instrs,
+            p.period
         ),
         None => String::new(),
     };
@@ -916,6 +1063,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: repro [--scale N] [--seed S] [--threads T] [--intra-threads K] \
          [--trace FILE.jsonl] [--trace-in FILE.espt ...] [--trace-out DIR] [--cpi-stack] \
          [--force] [--fuzz N] [--fuzz-espt N] [--repeat N] [--sample-period P] [--sample-grain G] \
+         [--learn] [--learn-model ridge|gbm] [--learn-train N] [--learn-suffix N] [--learn-bound F] \
          <all | fig3 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 | ablate \
          | explain BENCHMARK-OR-TRACE... | check | dump [NAMES-OR-TRACES...] | bench>\n\
          threads default to ESP_THREADS or the machine's parallelism;\n\
@@ -927,12 +1075,17 @@ fn usage(err: &str) -> ExitCode {
          --force overwrites a BENCH_repro.json recorded at a different scale;\n\
          --sample-period P runs figures in statistical-sampling mode (1 of every P\n\
          grains of --sample-grain instructions is measured; see docs/PERFORMANCE.md);\n\
+         --learn adds learned fast-forwarding on top of sampling (skips most of the\n\
+         functional-warming walk once the per-run model trains); --learn-model picks\n\
+         ridge (default) or gbm, --learn-train the training stretches, --learn-suffix\n\
+         the always-warmed suffix grains, --learn-bound the residual bound in percent;\n\
          check runs the differential oracle over all 9 families + a --fuzz N seeded\n\
          sweep + a --fuzz-espt N trace-decoder sweep (docs/TESTING.md);\n\
          dump prints every selected workload's RunReports for cross-process\n\
          determinism checks (default: all 9 families);\n\
          bench runs the full matrix cold at 1 thread, warm at --threads (skipped on a\n\
-         1-core machine), warm in sampled mode with an error cross-check, then an\n\
+         1-core machine), warm in sampled then learned mode with error cross-checks,\n\
+         then an\n\
          intra-run pass chunking each single run over --intra-threads workers (each\n\
          pass best of --repeat, default 3), measures .espt export/import against\n\
          generate+materialise, and records all passes in BENCH_repro.json\n\

@@ -7,7 +7,7 @@
 //! [`Runner::improvements`] / [`Runner::metric`] become cache lookups.
 
 use crate::source::WorkloadSpec;
-use esp_core::{RunReport, SampleParams, SimConfig, SimMode, Simulator};
+use esp_core::{LearnParams, LearnedStats, RunReport, SampleParams, SimConfig, SimMode, Simulator};
 use esp_obs::TraceProbe;
 use esp_stats::Table;
 use esp_trace::{PackedWorkload, Workload};
@@ -18,6 +18,10 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One planned simulation's outputs: the report, its serialised trace
+/// bytes, and the learned-mode stats when learned fast-forwarding ran.
+type RunOutput = (RunReport, Vec<u8>, Option<LearnedStats>);
 
 /// Every machine configuration the evaluation compares, as a nameable
 /// key (so runs can be cached and reports labelled consistently).
@@ -309,6 +313,13 @@ pub struct Runner {
     /// (`Simulator::run_sampled`) with these parameters instead of the
     /// exact interval loop; trace lines are tagged `"mode":"sampled"`.
     sampling: Option<SampleParams>,
+    /// When set (with `sampling` also set), sampled simulations use
+    /// learned fast-forwarding (`Simulator::run_sampled_learned`); the
+    /// per-run model statistics land in `learned_stats`.
+    learned: Option<LearnParams>,
+    /// Learned-mode statistics per (slot, configuration), captured by
+    /// [`Runner::ensure`] whenever `learned` is active.
+    learned_stats: HashMap<(usize, ConfigKey), LearnedStats>,
     /// JSONL trace sink; when set, every simulation runs with a
     /// [`TraceProbe`] and per-worker buffers are appended here in input
     /// order (so the file is byte-identical for any thread count).
@@ -435,6 +446,8 @@ impl Runner {
             cache: HashMap::new(),
             sims_run: 0,
             sampling: None,
+            learned: None,
+            learned_stats: HashMap::new(),
             trace: None,
         })
     }
@@ -452,6 +465,46 @@ impl Runner {
     /// The active sampling parameters, if sampling mode is on.
     pub fn sampling(&self) -> Option<SampleParams> {
         self.sampling
+    }
+
+    /// Switches every subsequent *sampled* simulation to learned
+    /// fast-forwarding (or back to plain functional warming with
+    /// `None`). Has no effect until sampling mode is on. Cached reports
+    /// and learned statistics are discarded so a matrix never mixes
+    /// modes silently.
+    pub fn set_learned(&mut self, params: Option<LearnParams>) {
+        if self.learned != params {
+            self.cache.clear();
+            self.learned_stats.clear();
+        }
+        self.learned = params;
+    }
+
+    /// The active learned fast-forward parameters, if any.
+    pub fn learned(&self) -> Option<LearnParams> {
+        self.learned
+    }
+
+    /// The learned-mode statistics for `(i, key)`, if that cell was
+    /// simulated with learned fast-forwarding.
+    pub fn learned_stats(&self, i: usize, key: ConfigKey) -> Option<&LearnedStats> {
+        self.learned_stats.get(&(i, key))
+    }
+
+    /// Aggregates learned-mode statistics over every cached cell:
+    /// `(mean skip fraction, mean fallbacks per stretch, cells where the
+    /// ladder disabled skipping, cells escalated to a full rerun)`.
+    /// `None` when no learned cell has run.
+    pub fn learned_summary(&self) -> Option<(f64, f64, usize, usize)> {
+        if self.learned_stats.is_empty() {
+            return None;
+        }
+        let n = self.learned_stats.len() as f64;
+        let skip = self.learned_stats.values().map(LearnedStats::skip_fraction).sum::<f64>() / n;
+        let fb = self.learned_stats.values().map(LearnedStats::fallback_rate).sum::<f64>() / n;
+        let disabled = self.learned_stats.values().filter(|s| s.disabled).count();
+        let rerun = self.learned_stats.values().filter(|s| s.rerun_full).count();
+        Some((skip, fb, disabled, rerun))
     }
 
     /// Routes a JSONL trace of every subsequent simulation to `path`
@@ -614,6 +667,7 @@ impl Runner {
         let slots = &self.slots;
         let tracing = self.trace.is_some();
         let sampling = self.sampling;
+        let learned = self.learned;
         // Longest-job-first dispatch: the worker pool pops jobs from a
         // shared queue, so the matrix tail is set by whichever job starts
         // last — dispatch the expensive ones first and the cheap ones
@@ -641,33 +695,49 @@ impl Runner {
             let workload: &PackedWorkload = &slots[i].packed;
             let sim = Simulator::new(key.config());
             match (sampling, tracing) {
-                (None, false) => (sim.run(workload), Vec::new()),
+                (None, false) => (sim.run(workload), Vec::new(), None),
                 (None, true) => {
                     let mut probe = TraceProbe::new(&slots[i].name, key.label());
                     let report = sim.run_probed(workload, &mut probe);
-                    (report, probe.into_bytes())
+                    (report, probe.into_bytes(), None)
                 }
-                (Some(p), false) => (sim.run_sampled(workload, p).report, Vec::new()),
+                (Some(p), false) => match learned {
+                    Some(lp) => {
+                        let run = sim.run_sampled_learned(workload, p, lp);
+                        (run.report, Vec::new(), run.learned)
+                    }
+                    None => (sim.run_sampled(workload, p).report, Vec::new(), None),
+                },
                 (Some(p), true) => {
+                    let mode = if learned.is_some() { "learned" } else { "sampled" };
                     let mut probe =
-                        TraceProbe::new(&slots[i].name, key.label()).with_mode("sampled");
-                    let run = sim.run_sampled_probed(workload, p, &mut probe);
-                    (run.report, probe.into_bytes())
+                        TraceProbe::new(&slots[i].name, key.label()).with_mode(mode);
+                    match learned {
+                        Some(lp) => {
+                            let run =
+                                sim.run_sampled_learned_probed(workload, p, lp, &mut probe);
+                            (run.report, probe.into_bytes(), run.learned)
+                        }
+                        None => {
+                            let run = sim.run_sampled_probed(workload, p, &mut probe);
+                            (run.report, probe.into_bytes(), None)
+                        }
+                    }
                 }
             }
         });
-        let mut slots: Vec<Option<(RunReport, Vec<u8>)>> = Vec::new();
+        let mut slots: Vec<Option<RunOutput>> = Vec::new();
         slots.resize_with(pairs.len(), || None);
         for (j, r) in order.into_iter().zip(ljf_results) {
             slots[j] = Some(r);
         }
-        let results: Vec<(RunReport, Vec<u8>)> =
+        let results: Vec<RunOutput> =
             slots.into_iter().map(|s| s.expect("every planned pair ran")).collect();
         self.phases.simulate += t.elapsed().as_secs_f64();
         self.sims_run += results.len() as u64;
         let mut write_err = None;
         if let Some(out) = self.trace.as_mut() {
-            for (_, buf) in &results {
+            for (_, buf, _) in &results {
                 if let Err(e) = out.write_all(buf).and_then(|()| out.flush()) {
                     write_err = Some(e);
                     break;
@@ -680,7 +750,12 @@ impl Runner {
             eprintln!("warning: trace output failed ({e}); tracing disabled");
             self.trace = None;
         }
-        self.cache.extend(pairs.into_iter().zip(results.into_iter().map(|(r, _)| r)));
+        for (pair, (report, _, stats)) in pairs.into_iter().zip(results) {
+            if let Some(stats) = stats {
+                self.learned_stats.insert(pair, stats);
+            }
+            self.cache.insert(pair, report);
+        }
     }
 
     /// The cached report for `(i, key)`, if one exists (no simulation is

@@ -13,6 +13,9 @@ use std::path::{Path, PathBuf};
 /// One workload a CLI surface asked for: a built-in generator profile,
 /// or an on-disk `.espt` trace to import in its place.
 #[derive(Clone, Debug)]
+// A handful of `WorkloadSpec`s exist per CLI invocation; boxing the
+// profile would buy nothing for the indirection it costs every use.
+#[allow(clippy::large_enum_variant)]
 pub enum WorkloadSpec {
     /// A built-in benchmark family, to be scaled and generated.
     Builtin(BenchmarkProfile),

@@ -124,12 +124,11 @@ fn imported_traces_are_byte_identical_to_generated() {
     let mut imp_sampled = Runner::from_specs(&specs, SCALE, SEED, 2).expect("import");
     imp_sampled.set_sampling(Some(sp));
     imp_sampled.ensure(&[ConfigKey::EspNl]);
-    for i in 0..want_names.len() {
+    for (i, name) in want_names.iter().enumerate() {
         assert_eq!(
             format!("{:#?}", gen_sampled.run(i, ConfigKey::EspNl)),
             format!("{:#?}", imp_sampled.run(i, ConfigKey::EspNl)),
-            "sampled report diverged: slot {}",
-            want_names[i]
+            "sampled report diverged: slot {name}"
         );
     }
 
@@ -137,7 +136,7 @@ fn imported_traces_are_byte_identical_to_generated() {
     // imported packed form matches the generated one at every width.
     let gen_again = Runner::with_profiles(&families, SCALE, SEED, 1);
     let imp_again = Runner::from_specs(&specs, SCALE, SEED, 1).expect("import");
-    for i in 0..want_names.len() {
+    for (i, name) in want_names.iter().enumerate() {
         for threads in [2usize, 3] {
             let cfg = ConfigKey::EspNl.config();
             let a = Simulator::new(cfg.clone()).run_intra(gen_again.packed(i).as_ref(), threads);
@@ -145,13 +144,11 @@ fn imported_traces_are_byte_identical_to_generated() {
             assert_eq!(
                 format!("{:#?}", a.report),
                 format!("{:#?}", b.report),
-                "intra report diverged: slot {} width {threads}",
-                want_names[i]
+                "intra report diverged: slot {name} width {threads}"
             );
             assert_eq!(
                 a.stats.repaired, b.stats.repaired,
-                "intra repair count diverged: slot {}",
-                want_names[i]
+                "intra repair count diverged: slot {name}"
             );
         }
     }

@@ -328,7 +328,8 @@ mod tests {
     #[test]
     fn every_mutation_kind_is_rejected_with_a_structured_error() {
         let base = base_image(0);
-        let cases: &[(Mutation, fn(&EsptError) -> bool)] = &[
+        type Case = (Mutation, fn(&EsptError) -> bool);
+        let cases: &[Case] = &[
             (Mutation::WrongMagic(0), |e| matches!(e, EsptError::BadMagic { .. })),
             (Mutation::Truncate(40), |e| matches!(e, EsptError::Truncated { .. })),
             (Mutation::Trailing(0xAA), |e| matches!(e, EsptError::TrailingBytes { .. })),

@@ -55,4 +55,4 @@ pub use espt_fuzz::{espt_fuzz_with, render_espt_reproducer, EsptFuzzFailure};
 pub use fuzz::{fuzz_with, render_reproducer, shrink, FuzzCase, FuzzFailure, FuzzMode};
 pub use json::Json;
 pub use oracle::{check_run, OracleProbe, OracleReport};
-pub use sampled::{check_sampled, check_sampled_matrix, SampledCheck};
+pub use sampled::{check_learned, check_sampled, check_sampled_matrix, LearnedCheck, SampledCheck};

@@ -17,8 +17,15 @@
 //! [`check_sampled_matrix`] sweeps the check over a profile × config
 //! matrix and reports every violation, mirroring how the differential
 //! oracle is applied across the benchmark suite.
+//!
+//! [`check_learned`] extends the same contract to the *learned
+//! fast-forward* mode (`run_sampled_learned`): everything
+//! [`check_sampled`] verifies, plus that skipping actually engaged — a
+//! learned run that never skipped a grain (model never trained, or the
+//! fallback ladder disabled it immediately) would pass the accuracy
+//! checks vacuously while measuring nothing about the learned path.
 
-use esp_core::{SampleParams, SimConfig, Simulator};
+use esp_core::{LearnParams, SampleParams, SimConfig, Simulator};
 use esp_trace::Workload;
 
 /// What [`check_sampled`] measured, for reporting.
@@ -105,6 +112,115 @@ pub fn check_sampled(
     })
 }
 
+/// What [`check_learned`] measured, for reporting.
+#[derive(Clone, Debug)]
+pub struct LearnedCheck {
+    /// The base sampled checks (accuracy, bookkeeping, uncertainty),
+    /// computed against the learned run.
+    pub sampled: SampledCheck,
+    /// Fraction of warm-grain instructions fast-forwarded without
+    /// engine warming.
+    pub skip_fraction: f64,
+    /// Residual-gate fallbacks per completed stretch.
+    pub fallback_rate: f64,
+    /// Whether the fallback ladder disabled skipping before the run
+    /// ended.
+    pub disabled: bool,
+}
+
+/// Runs `workload` exactly and with learned fast-forwarding, and checks
+/// the learned estimate against the exact ground truth.
+///
+/// Beyond the [`check_sampled`] contract (applied to the learned run),
+/// this requires the run to be *non-vacuous*: the model must have
+/// issued predictions and actually skipped grains. A run the fallback
+/// ladder escalated to a full rerun (`rerun_full`) fails the check —
+/// the ladder behaved correctly, but the operating point is not one
+/// where learned mode works, which is what the caller asked to verify.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated check.
+pub fn check_learned(
+    config: &SimConfig,
+    workload: &dyn Workload,
+    params: SampleParams,
+    learn: LearnParams,
+    tolerance_pct: f64,
+) -> Result<LearnedCheck, String> {
+    let sim = Simulator::new(config.clone());
+    let exact = sim.run(workload);
+    let run = sim.run_sampled_learned(workload, params, learn);
+
+    if run.estimate.exact_fallback {
+        return Err(format!(
+            "learned run fell back to exact mode (workload too small for grain {} × period {});              the comparison is vacuous",
+            params.grain_instrs, params.period
+        ));
+    }
+    let stats = run
+        .learned
+        .as_ref()
+        .ok_or("run_sampled_learned reported no learned stats")?;
+    if stats.rerun_full {
+        return Err(format!(
+            "fallback ladder escalated to a full plain-warming rerun              ({} fallbacks, rolling error {:.1}%) — learned mode does not hold at this point",
+            stats.fallbacks, stats.rolling_err_pct
+        ));
+    }
+    if stats.predictions == 0 || stats.skipped_grains == 0 {
+        return Err(format!(
+            "learned run never skipped (predictions {}, skipped grains {}) —              the accuracy comparison is vacuous",
+            stats.predictions, stats.skipped_grains
+        ));
+    }
+    if run.report.engine.retired != exact.engine.retired {
+        return Err(format!(
+            "learned retired count {} != exact {} — fast-forward lost instructions",
+            run.report.engine.retired, exact.engine.retired
+        ));
+    }
+    if run.report.events_run != exact.events_run {
+        return Err(format!(
+            "learned events_run {} != exact {}",
+            run.report.events_run, exact.events_run
+        ));
+    }
+
+    let exact_cpi = exact.busy_cycles() as f64 / exact.engine.retired as f64;
+    let learned_cpi = run.report.busy_cycles() as f64 / run.report.engine.retired as f64;
+    let cpi_error_pct = 100.0 * (learned_cpi - exact_cpi) / exact_cpi;
+    let ci95_pct = run.estimate.cpi.rel_ci95_pct();
+
+    if !ci95_pct.is_finite() {
+        return Err(format!(
+            "confidence interval is not finite ({ci95_pct}) with {} measured grains",
+            run.estimate.grains_measured
+        ));
+    }
+    if cpi_error_pct.abs() > tolerance_pct {
+        return Err(format!(
+            "learned CPI {learned_cpi:.4} vs exact {exact_cpi:.4}: error {cpi_error_pct:+.2}%              exceeds tolerance {tolerance_pct}% (ci95 {ci95_pct:.2}%, n={}, skip {:.2}, fb {})",
+            run.estimate.grains_measured,
+            stats.skip_fraction(),
+            stats.fallbacks
+        ));
+    }
+
+    Ok(LearnedCheck {
+        sampled: SampledCheck {
+            exact_cpi,
+            sampled_cpi: learned_cpi,
+            cpi_error_pct,
+            ci95_pct,
+            grains_measured: run.estimate.grains_measured,
+        },
+        skip_fraction: stats.skip_fraction(),
+        fallback_rate: stats.fallback_rate(),
+        disabled: stats.disabled,
+    })
+}
+
 /// Applies [`check_sampled`] to every (workload, label) × config cell
 /// and collects all violations instead of stopping at the first.
 ///
@@ -145,6 +261,37 @@ mod tests {
             .expect("sampled check must pass");
         assert!(c.grains_measured >= 10);
         assert!(c.ci95_pct > 0.0);
+    }
+
+    #[test]
+    fn learned_check_passes_at_the_default_operating_point() {
+        let w = BenchmarkProfile::amazon().scaled(600_000).build(42);
+        let c = check_learned(
+            &SimConfig::esp_nl(),
+            &w,
+            SampleParams::default(),
+            esp_core::LearnParams::default(),
+            8.0,
+        )
+        .expect("learned check must pass");
+        assert!(c.skip_fraction > 0.3, "skip fraction {} is vacuous", c.skip_fraction);
+        assert!(!c.disabled);
+    }
+
+    #[test]
+    fn learned_check_rejects_a_never_skipping_run() {
+        // An absurd training requirement means the model never finishes
+        // training inside the run, so no grain is ever skipped.
+        let w = BenchmarkProfile::amazon().scaled(400_000).build(42);
+        let err = check_learned(
+            &SimConfig::base(),
+            &w,
+            SampleParams::default(),
+            esp_core::LearnParams { train_stretches: 10_000, ..Default::default() },
+            50.0,
+        )
+        .expect_err("a run that never skips must be rejected");
+        assert!(err.contains("vacuous"), "unexpected error: {err}");
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn shrunk_case_still_fails() {
     let checker = |c: &FuzzCase| -> Result<(), String> {
         // Fails whenever the workload's amazon profile is in use at any
         // scale — checker cares about exactly one dimension.
-        if c.profile % 7 == 0 {
+        if c.profile.is_multiple_of(7) {
             Err("profile 0 rejected".into())
         } else {
             Ok(())

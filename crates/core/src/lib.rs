@@ -57,6 +57,7 @@ pub use intra::{IntraRun, IntraStats};
 pub use lineset::LineSet;
 pub use replay::{ReplayLists, ReplayStats};
 pub use report::RunReport;
+pub use esp_learn::{LearnParams, LearnedStats, ModelKind};
 pub use sampling::{SampleParams, SampledRun, SamplingEstimate};
 pub use simulator::{SideEffectLog, Simulator};
 pub use working_set::{percentile, WorkingSetReport};

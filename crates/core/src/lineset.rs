@@ -225,8 +225,7 @@ mod tests {
         // A sixth last-slot collider that was never inserted must probe
         // through the whole wrapped chain and still come back absent.
         let absent = (0..)
-            .filter(|&k| LineSet::slot_of(k, mask) == mask && !colliders.contains(&k))
-            .next()
+            .find(|&k| LineSet::slot_of(k, mask) == mask && !colliders.contains(&k))
             .unwrap();
         assert!(!s.contains(absent));
         assert_eq!(s.len(), colliders.len());

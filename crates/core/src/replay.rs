@@ -94,6 +94,14 @@ impl ReplayState {
         engine.bp_mut().begin_replay();
     }
 
+    /// List entries not yet replayed across all three lists — the
+    /// replay-occupancy feature of the learned fast-forward mode.
+    pub fn pending_entries(&self) -> u64 {
+        ((self.lists.ilist.len() - self.ipos.min(self.lists.ilist.len()))
+            + (self.lists.dlist.len() - self.dpos.min(self.lists.dlist.len()))
+            + (self.lists.blist.len() - self.bpos.min(self.lists.blist.len()))) as u64
+    }
+
     /// Whether every list cursor is exhausted — once true it stays true
     /// until the next [`ReplayState::arm`], so callers may batch over
     /// instruction runs without per-instruction ticks.

@@ -121,10 +121,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let mut r = RunReport::default();
-        r.total_cycles = 100;
+        let mut r = RunReport { total_cycles: 100, events_run: 2, ..RunReport::default() };
         r.engine.retired = 50;
-        r.events_run = 2;
         let s = r.to_string();
         assert!(s.contains("2 events"));
         assert!(s.contains("MPKI"));
@@ -136,8 +134,7 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut r = RunReport::default();
-        r.total_cycles = 1_500;
+        let mut r = RunReport { total_cycles: 1_500, ..RunReport::default() };
         r.breakdown.idle = 500;
         r.engine.retired = 2_000;
         r.engine.l1i_misses = 35;

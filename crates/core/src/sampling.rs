@@ -33,8 +33,34 @@
 //! behavioural-equality check instead of an estimator, so sampling
 //! stays the only mode that returns an estimate.
 //!
-//! See `docs/PERFORMANCE.md` ("Sampling") for the estimator derivation,
-//! warming rules, and measured error tables.
+//! # Learned fast-forwarding
+//!
+//! Functional warming is only ~1.5–2.5× cheaper than detailed
+//! simulation here, so the warm walk caps plain sampling at ~1.4×.
+//! [`Simulator::run_sampled_learned`] raises that ceiling: an
+//! `esp-learn` controller summarises every warm *stretch* (the
+//! `period − 2` warm grains between a measured grain and the next
+//! detailed-warmup grain) into a feature vector, trains an online model
+//! predicting the next measured grain's per-instruction cycle metrics,
+//! and — once trained and in bounds — *skips* the engine-warming walk
+//! for the stretch interior. Skipped grains advance the cursor with a
+//! decode-free fast-forward ([`esp_trace::EventStream::skip_region`]) —
+//! no sink, no operand decode — so retirement and the grain clock stay
+//! exact while the walk costs a small fraction of functional warming.
+//! The last `warm_suffix_grains` grains of every stretch are always
+//! fully warmed to rebuild short-term cache/predictor state, and the
+//! suffix is also the only region features are extracted from (in
+//! training and skipping modes alike, so the model never sees a
+//! train/predict feature skew). Predicted-vs-actual
+//! residuals gate the whole thing: a breach falls back to full warming,
+//! repeated breaches disable skipping, and a run whose ladder bottoms
+//! out is re-executed with plain warming. The residual series also
+//! widens the reported confidence intervals
+//! (`esp_stats::ResidualAccum::inflate`).
+//!
+//! See `docs/PERFORMANCE.md` ("Sampling", "Learned fast-forwarding")
+//! for the estimator derivation, warming rules, and measured error
+//! tables.
 
 use crate::config::SimMode;
 use crate::esp_state::{EspRunStats, EspState};
@@ -43,11 +69,12 @@ use crate::replay::{ReplayLists, ReplayState, ReplayStats};
 use crate::report::RunReport;
 use crate::simulator::Simulator;
 use esp_energy::{ActivityCounts, EnergyModel};
+use esp_learn::{FastForward, LearnParams, LearnedStats};
 use esp_obs::{CpiStack, EventSpan, NullProbe, Probe, RunSummary};
 use esp_stats::{ratio_estimate, RatioEstimate};
 use esp_trace::kindbits::{TAG_COND, TAG_LOAD, TAG_MASK, TAG_STORE};
-use esp_trace::{EventCursor, EventStream, ForkStream, Workload, INSTR_BYTES};
-use esp_uarch::{Engine, KernelParams, KindTable};
+use esp_trace::{EventCursor, EventStream, ForkStream, Instr, Workload, INSTR_BYTES};
+use esp_uarch::{Engine, KernelParams, KindTable, WarmTee};
 
 /// Sampling-mode parameters: grain size and sampling period.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +143,10 @@ pub struct SampledRun {
     pub report: RunReport,
     /// Grain counts and confidence intervals.
     pub estimate: SamplingEstimate,
+    /// Learned fast-forward accounting — `Some` only for
+    /// [`Simulator::run_sampled_learned`] runs (skip/warm grain counts,
+    /// prequential residuals, fallback ladder state, model confidence).
+    pub learned: Option<LearnedStats>,
 }
 
 /// What a grain's position in the period means for execution.
@@ -237,10 +268,17 @@ struct SampleCtl {
     warm_pending: u64,
     /// Sub-cycle residue of the warm clock, in milli-cycles.
     warm_millis: u64,
+    /// The learned fast-forward controller (learned mode only).
+    learn: Option<Box<FastForward>>,
+    /// Instructions fast-forwarded (feature-only walk) in the current
+    /// warm grain.
+    learn_skip_acc: u64,
+    /// Instructions fully warmed in the current warm grain.
+    learn_warm_acc: u64,
 }
 
 impl SampleCtl {
-    fn new(params: SampleParams) -> Self {
+    fn new(params: SampleParams, learn: Option<Box<FastForward>>) -> Self {
         SampleCtl {
             grain_instrs: params.grain_instrs,
             period: params.period,
@@ -253,7 +291,113 @@ impl SampleCtl {
             measured_instrs: 0,
             warm_pending: 0,
             warm_millis: 0,
+            learn,
+            learn_skip_acc: 0,
+            learn_warm_acc: 0,
         }
+    }
+
+    /// Whether the current warm grain's engine warming should be
+    /// skipped: the controller must be in its skip phase and the grain
+    /// must sit in the stretch *interior* — at least
+    /// `warm_suffix_grains` before the next detailed-warmup grain, so
+    /// every measurement is preceded by freshly warmed state.
+    fn skip_now(&self) -> bool {
+        let Some(l) = self.learn.as_ref() else { return false };
+        if !l.skip_interior() {
+            return false;
+        }
+        let pos = self.grain_idx % self.period;
+        pos >= 2 && pos + l.params().warm_suffix_grains < self.period
+    }
+
+    /// Whether the current warm grain sits in the stretch *suffix* — the
+    /// last `warm_suffix_grains` warm grains before the next detailed-
+    /// warmup grain. The suffix is always fully engine-warmed, and it is
+    /// the only region features are extracted from, in training and
+    /// skipping modes alike: skipped interiors are fast-forwarded with no
+    /// observer at all ([`esp_trace::EventStream::skip_region`]), so
+    /// collecting training features from interiors would feed the model a
+    /// view prediction-time stretches never see.
+    fn in_learn_suffix(&self) -> bool {
+        let Some(l) = self.learn.as_ref() else { return false };
+        let pos = self.grain_idx % self.period;
+        pos + l.params().warm_suffix_grains >= self.period
+    }
+
+    /// Credits a bulk warm walk of `n` instructions to the learned
+    /// accounting and, inside a stretch's suffix, to the feature
+    /// extractor.
+    fn note_learn_walk(&mut self, n: u64, skipped: bool) {
+        let collect = self.in_learn_suffix();
+        let Some(l) = self.learn.as_mut() else { return };
+        if collect && l.in_stretch() {
+            l.extractor_mut().add_instrs(n);
+        }
+        if skipped {
+            self.learn_skip_acc += n;
+        } else {
+            self.learn_warm_acc += n;
+        }
+    }
+
+    /// Feeds one looper instruction to the feature extractor (suffix
+    /// grains of learned runs; the looper is always engine-warmed).
+    fn learn_note_step(&mut self, instr: &Instr) {
+        let collect = self.in_learn_suffix();
+        let Some(l) = self.learn.as_mut() else { return };
+        if collect && l.in_stretch() {
+            l.extractor_mut().note_step(instr);
+        }
+        self.learn_warm_acc += 1;
+    }
+
+    /// Notes an event boundary (feature context; ignored outside warm
+    /// stretches).
+    fn learn_note_event(&mut self) {
+        if let Some(l) = self.learn.as_mut() {
+            l.note_event();
+        }
+    }
+
+    /// Flushes the per-grain skip/warm instruction accumulators into
+    /// the controller as one completed warm grain. Returns whether the
+    /// grain was skipped.
+    fn flush_learn_grain(&mut self) -> bool {
+        let (skip, warm) = (self.learn_skip_acc, self.learn_warm_acc);
+        self.learn_skip_acc = 0;
+        self.learn_warm_acc = 0;
+        let Some(l) = self.learn.as_mut() else { return false };
+        if skip > 0 {
+            // The grain's few engine-warmed instructions (the looper
+            // prologue) ride along: the skip decision is per grain.
+            l.note_grain(skip + warm, true);
+            true
+        } else {
+            if warm > 0 {
+                l.note_grain(warm, false);
+            }
+            false
+        }
+    }
+
+    /// Reinstalls the skipped region's distinct-line footprint
+    /// (collected by the observed skip walk's memory-touch hooks) as
+    /// stat-free warm fills — a coarse reconstruction of the cache-state
+    /// delta the skipped walk never applied, run once when skipping ends
+    /// so the warm suffix and the detailed-warmup grain start from
+    /// approximately-warm state instead of a stale one.
+    fn reinstall_footprint(&mut self, engine: &mut Engine) {
+        let Some(l) = self.learn.as_mut() else { return };
+        let now = engine.now();
+        let fp = l.footprint();
+        for line in fp.i_lines() {
+            engine.mem_mut().warm_prefetch_instr(esp_types::LineAddr::new(line), now);
+        }
+        for line in fp.d_lines() {
+            engine.mem_mut().warm_prefetch_data(esp_types::LineAddr::new(line), now);
+        }
+        l.footprint_mut().clear();
     }
 
     fn kind(&self) -> GrainKind {
@@ -327,14 +471,37 @@ impl SampleCtl {
         let old = self.kind();
         self.grain_idx += 1;
         let new = self.kind();
+        if old == GrainKind::Warm {
+            // Every completed warm grain settles its skip/warm
+            // accounting, including Warm → Warm crossings below; when a
+            // skipped region ends (the warm suffix or the next detailed-
+            // warmup grain begins), its collected footprint is replayed
+            // into the caches first.
+            let ended_skipped = self.flush_learn_grain();
+            if ended_skipped && !self.skip_now() {
+                self.reinstall_footprint(engine);
+            }
+        }
         if old == new {
             return;
         }
         if old == GrainKind::Warm {
             self.flush_warm(engine);
+            if new == GrainKind::DetailedWarmup {
+                if let Some(l) = self.learn.as_mut() {
+                    // Stretch over: issue the blind prediction for the
+                    // measured grain one grain ahead.
+                    l.end_stretch();
+                }
+            }
         }
         if old == GrainKind::Measured {
             self.close_sample(engine, replay, esp);
+        }
+        if new == GrainKind::Warm {
+            if let Some(l) = self.learn.as_mut() {
+                l.begin_stretch(replay.pending_entries());
+            }
         }
         if new == GrainKind::Measured {
             self.open = Some(MeasureSnapshot {
@@ -382,6 +549,17 @@ impl SampleCtl {
             br_mis: d_stack.branch_mispredict,
             br_fetch: d_stack.branch_misfetch,
         });
+        if let Some(l) = self.learn.as_mut() {
+            if instrs > 0 {
+                let n = instrs as f64;
+                l.observe_measured([
+                    busy as f64 / n,
+                    (d_stack.icache_l2 + d_stack.icache_llc) as f64 / n,
+                    (d_stack.dcache_l2 + d_stack.dcache_llc) as f64 / n,
+                    (d_stack.branch_mispredict + d_stack.branch_misfetch) as f64 / n,
+                ]);
+            }
+        }
         add_stack(&mut self.totals.stack, &d_stack);
         add_engine(&mut self.totals.engine, engine.stats(), &snap.engine);
         add_replay(&mut self.totals.replay, &replay.stats(), &snap.replay);
@@ -421,32 +599,101 @@ impl Simulator {
     ) -> SampledRun {
         assert!(params.grain_instrs > 0, "grain_instrs must be positive");
         assert!(params.period >= 3, "period must be >= 3");
+        if let Some(run) = self.sampled_exact_fallback(workload, params, probe) {
+            return run;
+        }
+        self.run_sampled_inner(workload, params, probe, None)
+    }
+
+    /// Runs the workload in *learned* sampling mode: like
+    /// [`Simulator::run_sampled`], but an `esp-learn` predictor replaces
+    /// most of the functional-warming walk once its residuals are in
+    /// bounds (see the module docs). Falls back to exact simulation for
+    /// tiny workloads, to full warming on residual breaches, and — when
+    /// the fallback ladder bottoms out after skipping already happened —
+    /// re-executes the run with plain warming so the returned report is
+    /// clean (`LearnedStats::rerun_full`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `learn` are invalid
+    /// ([`LearnParams::validate`] — CLI front ends validate first).
+    pub fn run_sampled_learned(
+        &self,
+        workload: &dyn Workload,
+        params: SampleParams,
+        learn: LearnParams,
+    ) -> SampledRun {
+        self.run_sampled_learned_probed(workload, params, learn, &mut NullProbe)
+    }
+
+    /// [`Simulator::run_sampled_learned`] with an observability probe.
+    /// The probe sees the learned attempt; in the rare rerun-with-plain-
+    /// warming case the rerun is unprobed (its detailed grains repeat
+    /// what the probe already saw, minus the skip bias).
+    pub fn run_sampled_learned_probed<P: Probe>(
+        &self,
+        workload: &dyn Workload,
+        params: SampleParams,
+        learn: LearnParams,
+        probe: &mut P,
+    ) -> SampledRun {
+        assert!(params.grain_instrs > 0, "grain_instrs must be positive");
+        assert!(params.period >= 3, "period must be >= 3");
+        if let Err(e) = learn.validate() {
+            panic!("invalid learned-mode parameters: {e}");
+        }
+        if let Some(mut run) = self.sampled_exact_fallback(workload, params, probe) {
+            run.learned = Some(LearnedStats::empty(learn.model));
+            return run;
+        }
+        let run = self.run_sampled_inner(workload, params, probe, Some(learn));
+        let stats = run.learned.expect("learned run carries stats");
+        if stats.disabled && stats.skipped_instrs > 0 {
+            // Last rung of the ladder: the model kept breaching its bound
+            // after skipping had already touched warm state. Discard the
+            // tainted estimate and redo the run with plain warming.
+            let mut clean = self.run_sampled_inner(workload, params, &mut NullProbe, None);
+            clean.learned = Some(LearnedStats { rerun_full: true, ..stats });
+            return clean;
+        }
+        run
+    }
+
+    /// The shared too-small-to-sample escape: `Some(exact run)` when the
+    /// workload cannot hold two sampling periods.
+    fn sampled_exact_fallback<P: Probe>(
+        &self,
+        workload: &dyn Workload,
+        params: SampleParams,
+        probe: &mut P,
+    ) -> Option<SampledRun> {
         let events = workload.events();
         let n_looper = self.config().looper_instrs as u64;
         let approx_total =
             workload.approx_total_instructions() + n_looper * events.len() as u64;
         let grains_total = approx_total.div_ceil(params.grain_instrs.max(1));
-        if grains_total < params.period * 2 {
-            // Too small for two periods: sampling would measure nearly
-            // everything anyway. Run exact and report zero error.
-            let report = self.run_probed(workload, probe);
-            let instrs = report.engine.retired;
-            let stack = report.cpi_stack;
-            let one = |y: u64| ratio_estimate(&[(instrs, y)]);
-            let estimate = SamplingEstimate {
-                grains_total,
-                grains_measured: grains_total,
-                measured_instrs: instrs,
-                total_instrs: instrs,
-                cpi: one(report.busy_cycles()),
-                icache_cpi: one(stack.icache_l2 + stack.icache_llc),
-                dcache_cpi: one(stack.dcache_l2 + stack.dcache_llc),
-                branch_cpi: one(stack.branch_mispredict + stack.branch_misfetch),
-                exact_fallback: true,
-            };
-            return SampledRun { report, estimate };
+        if grains_total >= params.period * 2 {
+            return None;
         }
-        self.run_sampled_inner(workload, params, probe)
+        // Too small for two periods: sampling would measure nearly
+        // everything anyway. Run exact and report zero error.
+        let report = self.run_probed(workload, probe);
+        let instrs = report.engine.retired;
+        let stack = report.cpi_stack;
+        let one = |y: u64| ratio_estimate(&[(instrs, y)]);
+        let estimate = SamplingEstimate {
+            grains_total,
+            grains_measured: grains_total,
+            measured_instrs: instrs,
+            total_instrs: instrs,
+            cpi: one(report.busy_cycles()),
+            icache_cpi: one(stack.icache_l2 + stack.icache_llc),
+            dcache_cpi: one(stack.dcache_l2 + stack.dcache_llc),
+            branch_cpi: one(stack.branch_mispredict + stack.branch_misfetch),
+            exact_fallback: true,
+        };
+        Some(SampledRun { report, estimate, learned: None })
     }
 
     fn run_sampled_inner<P: Probe>(
@@ -454,6 +701,7 @@ impl Simulator {
         workload: &dyn Workload,
         params: SampleParams,
         probe: &mut P,
+        learn: Option<LearnParams>,
     ) -> SampledRun {
         let mut engine = Engine::new(self.config().engine.clone());
         let mut esp: Option<EspState<'_>> = match &self.config().mode {
@@ -479,9 +727,12 @@ impl Simulator {
         let n_looper = self.config().looper_instrs as u64;
         let mut iws = LineSet::new();
         let mut dws = LineSet::new();
-        let mut ctl = SampleCtl::new(params);
+        let ff = learn
+            .map(|lp| Box::new(FastForward::new(lp, line_bytes).expect("params pre-validated")));
+        let mut ctl = SampleCtl::new(params, ff);
 
         for (idx, record) in events.iter().enumerate() {
+            ctl.learn_note_event();
             let span_start = engine.now();
             let stack_before = *engine.cpi_stack();
             let retired_before = engine.stats().retired;
@@ -506,6 +757,7 @@ impl Simulator {
                 if ctl.kind() == GrainKind::Warm {
                     engine.warm_step(&instr);
                     ctl.warm_instr();
+                    ctl.learn_note_step(&instr);
                 } else {
                     replay.tick(&mut engine, 0, 0);
                     engine.step_probed(&instr, probe);
@@ -584,7 +836,7 @@ impl Simulator {
             measure_ws,
         );
         let samples = &ctl.samples;
-        let estimate = SamplingEstimate {
+        let mut estimate = SamplingEstimate {
             grains_total: ctl.grain_idx + 1,
             grains_measured: samples.len() as u64,
             measured_instrs,
@@ -606,6 +858,18 @@ impl Simulator {
             ),
             exact_fallback: false,
         };
+        let learned = ctl.learn.as_ref().map(|l| {
+            // The estimator's intervals assume measured grains are
+            // preceded by faithful warming; skipping traded some of that
+            // for model predictions, so the prediction noise widens the
+            // intervals (never narrows them).
+            let r = l.residuals();
+            estimate.cpi = r[0].inflate(estimate.cpi);
+            estimate.icache_cpi = r[1].inflate(estimate.icache_cpi);
+            estimate.dcache_cpi = r[2].inflate(estimate.dcache_cpi);
+            estimate.branch_cpi = r[3].inflate(estimate.branch_cpi);
+            l.stats()
+        });
         let mem_snap = engine.mem().snapshot();
         let (esp_branches, esp_mispredicts) = {
             let b1 = engine.bp().stats(esp_branch::PredictorContext::Esp1);
@@ -625,7 +889,7 @@ impl Simulator {
             esp_branches,
             esp_mispredicts,
         });
-        SampledRun { report, estimate }
+        SampledRun { report, estimate, learned }
     }
 
     /// The per-instruction loop of one event under the grain clock: the
@@ -653,9 +917,27 @@ impl Simulator {
         loop {
             if ctl.kind() == GrainKind::Warm {
                 // Fast-forward in bulk, straight off the packed arrays,
-                // up to the next grain boundary or end of event.
+                // up to the next grain boundary or end of event. In
+                // learned mode the walk depends on the grain: a decode-
+                // free cursor advance (skipped interior), engine +
+                // extractor tee (stretch suffix), or plain engine
+                // warming (everything else).
                 let want = ctl.until_boundary();
-                let walked = stream.warm_region(want, line_bytes, engine);
+                let skipped = ctl.skip_now();
+                let collect = ctl.in_learn_suffix();
+                let walked = if skipped {
+                    let l = ctl.learn.as_mut().expect("skipping requires a controller");
+                    stream.skip_region_observed(want, line_bytes, l.footprint_mut())
+                } else {
+                    match ctl.learn.as_mut() {
+                        Some(l) if collect && l.in_stretch() => {
+                            let mut tee = WarmTee::new(engine, l.extractor_mut());
+                            stream.warm_region(want, line_bytes, &mut tee)
+                        }
+                        _ => stream.warm_region(want, line_bytes, engine),
+                    }
+                };
+                ctl.note_learn_walk(walked, skipped);
                 engine.warm_retire(walked);
                 ctl.warm_bulk(walked, engine, replay, esp);
                 if walked < want {
@@ -718,7 +1000,21 @@ impl Simulator {
         loop {
             if ctl.kind() == GrainKind::Warm {
                 let want = ctl.until_boundary();
-                let walked = stream.warm_region(want, line_bytes, engine);
+                let skipped = ctl.skip_now();
+                let collect = ctl.in_learn_suffix();
+                let walked = if skipped {
+                    let l = ctl.learn.as_mut().expect("skipping requires a controller");
+                    stream.skip_region_observed(want, line_bytes, l.footprint_mut())
+                } else {
+                    match ctl.learn.as_mut() {
+                        Some(l) if collect && l.in_stretch() => {
+                            let mut tee = WarmTee::new(engine, l.extractor_mut());
+                            stream.warm_region(want, line_bytes, &mut tee)
+                        }
+                        _ => stream.warm_region(want, line_bytes, engine),
+                    }
+                };
+                ctl.note_learn_walk(walked, skipped);
                 engine.warm_retire(walked);
                 ctl.warm_bulk(walked, engine, replay, esp);
                 if walked < want {
@@ -947,5 +1243,100 @@ mod tests {
     #[should_panic(expected = "period must be >= 3")]
     fn short_period_is_rejected() {
         SampleParams::new(1_000, 2);
+    }
+
+    #[test]
+    fn learned_cpi_tracks_exact_and_actually_skips() {
+        let w = BenchmarkProfile::amazon().scaled(600_000).build(42);
+        for cfg in [SimConfig::base(), SimConfig::esp_nl()] {
+            let sim = Simulator::new(cfg);
+            let exact = sim.run(&w);
+            let run =
+                sim.run_sampled_learned(&w, SampleParams::default(), LearnParams::default());
+            let stats = run.learned.expect("learned run reports stats");
+            assert!(!run.estimate.exact_fallback);
+            assert!(!stats.rerun_full, "stable workload must not bottom out");
+            assert!(
+                stats.skipped_instrs > 0 && stats.skip_fraction() > 0.3,
+                "skipping must be non-vacuous (skip fraction {:.2})",
+                stats.skip_fraction()
+            );
+            assert!(stats.predictions > 0);
+            let exact_cpi = exact.busy_cycles() as f64 / exact.engine.retired as f64;
+            let got_cpi = run.report.busy_cycles() as f64 / run.report.engine.retired as f64;
+            let err = pct_err(got_cpi, exact_cpi);
+            assert!(err < 8.0, "cpi error {err:.2}% (exact {exact_cpi:.4}, got {got_cpi:.4})");
+            // Retirement stays exact: the skip walk still counts every
+            // instruction.
+            assert_eq!(run.report.engine.retired, exact.engine.retired);
+        }
+    }
+
+    #[test]
+    fn learned_run_is_deterministic() {
+        let w = BenchmarkProfile::pixlr().scaled(300_000).build(7);
+        let sim = Simulator::new(SimConfig::esp_nl());
+        let a = sim.run_sampled_learned(&w, SampleParams::default(), LearnParams::default());
+        let b = sim.run_sampled_learned(&w, SampleParams::default(), LearnParams::default());
+        assert_eq!(a.report.total_cycles, b.report.total_cycles);
+        assert_eq!(a.report.engine, b.report.engine);
+        assert_eq!(a.estimate.cpi, b.estimate.cpi);
+        assert_eq!(a.learned, b.learned);
+    }
+
+    #[test]
+    fn learned_tiny_workload_reports_empty_stats() {
+        let w = BenchmarkProfile::amazon().scaled(5_000).build(42);
+        let sim = Simulator::new(SimConfig::base());
+        let run = sim.run_sampled_learned(&w, SampleParams::new(10_000, 20), LearnParams::default());
+        assert!(run.estimate.exact_fallback);
+        let stats = run.learned.expect("fallback still tags the run as learned");
+        assert_eq!(stats, esp_learn::LearnedStats::empty(esp_learn::ModelKind::Ridge));
+    }
+
+    #[test]
+    fn learned_ladder_bottom_reruns_with_plain_warming() {
+        let w = BenchmarkProfile::amazon().scaled(600_000).build(42);
+        let sim = Simulator::new(SimConfig::base());
+        // amazon/base at this scale predicts well enough up front to pass
+        // the skip-entry gate, then drifts past the bias threshold later
+        // in the run; with a single allowed fallback the first breach
+        // bottoms the ladder out and the run must be redone with plain
+        // warming.
+        let learn = LearnParams { max_fallbacks: 1, ..LearnParams::default() };
+        let run = sim.run_sampled_learned(&w, SampleParams::default(), learn);
+        let stats = run.learned.expect("learned stats");
+        assert!(stats.skipped_instrs > 0, "run must actually have skipped before breaching");
+        assert!(stats.disabled && stats.fallbacks >= 1);
+        assert!(stats.rerun_full, "tainted run must be redone");
+        // The delivered report is then exactly the plain sampled one.
+        let plain = sim.run_sampled(&w, SampleParams::default());
+        assert_eq!(run.report.total_cycles, plain.report.total_cycles);
+        assert_eq!(run.report.engine, plain.report.engine);
+        assert_eq!(run.estimate.cpi, plain.estimate.cpi);
+    }
+
+    #[test]
+    fn learned_intervals_never_narrower_than_plain() {
+        let w = BenchmarkProfile::amazon().scaled(600_000).build(42);
+        let sim = Simulator::new(SimConfig::base());
+        let run =
+            sim.run_sampled_learned(&w, SampleParams::default(), LearnParams::default());
+        let stats = run.learned.unwrap();
+        if stats.predictions > 0 && !stats.rerun_full {
+            // Same samples, inflated se: the learned interval dominates
+            // what the same estimator would report uninflated.
+            assert!(run.estimate.cpi.se > 0.0);
+            assert!(run.estimate.cpi.ci95 >= 1.96 * run.estimate.cpi.se - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "--learn-train must be at least 1")]
+    fn learned_invalid_params_panic_with_cli_message() {
+        let w = BenchmarkProfile::amazon().scaled(10_000).build(42);
+        let sim = Simulator::new(SimConfig::base());
+        let learn = LearnParams { train_stretches: 0, ..LearnParams::default() };
+        let _ = sim.run_sampled_learned(&w, SampleParams::default(), learn);
     }
 }

@@ -266,9 +266,9 @@ mod tests {
         assert!(b.record(&cond(0x110, false), 9));
         let r = b.records();
         assert_eq!(r.len(), 2);
-        assert_eq!(r[0].taken, true);
+        assert!(r[0].taken);
         assert_eq!(r[0].icount, 5);
-        assert_eq!(r[1].taken, false);
+        assert!(!r[1].taken);
         assert_eq!(r[1].target, None, "not-taken branches carry no target");
         assert_eq!(r[0].to_instr(), Some(cond(0x100, true)));
     }

@@ -26,10 +26,12 @@
 
 mod counters;
 mod metrics;
+mod residual;
 mod sampling;
 mod table;
 
 pub use counters::{BranchStats, CacheStats, PrefetchStats};
 pub use metrics::{harmonic_mean, harmonic_mean_improvement, improvement_pct, mpki, percent, rate};
+pub use residual::{ResidualAccum, RESIDUAL_WINDOW};
 pub use sampling::{ratio_estimate, RatioEstimate};
 pub use table::Table;

@@ -1,0 +1,194 @@
+//! Prequential residual tracking for the learned fast-forward mode.
+//!
+//! The learned sampling mode (see `esp-learn` / `esp-core`) predicts each
+//! measured grain's per-instruction cycle metrics from features of the
+//! preceding functionally-warmed stretch, *before* the grain is measured.
+//! Comparing prediction against measurement gives a prequential (predict-
+//! then-test) residual series per metric. This module accumulates those
+//! residuals — a whole-run mean plus a short rolling window that drives
+//! the skip/fall-back decision — and widens a [`RatioEstimate`]'s
+//! confidence interval by the observed prediction noise, so a learned run
+//! never reports a tighter interval than its model earned.
+
+use crate::RatioEstimate;
+
+/// Length of the rolling residual window (most recent predictions).
+pub const RESIDUAL_WINDOW: usize = 8;
+
+/// Accumulates relative prediction residuals for one metric.
+///
+/// Residuals are recorded as `|predicted - actual| / actual` (skipped when
+/// `actual` is not strictly positive, since a relative error against a
+/// zero metric is meaningless). All state is a handful of scalars and a
+/// fixed window — no allocation, deterministic accumulation order.
+#[derive(Clone, Copy, Debug)]
+pub struct ResidualAccum {
+    n: u64,
+    sum_rel: f64,
+    sum_sq_rel: f64,
+    window: [f64; RESIDUAL_WINDOW],
+    widx: usize,
+    wlen: usize,
+}
+
+impl Default for ResidualAccum {
+    fn default() -> Self {
+        ResidualAccum {
+            n: 0,
+            sum_rel: 0.0,
+            sum_sq_rel: 0.0,
+            window: [0.0; RESIDUAL_WINDOW],
+            widx: 0,
+            wlen: 0,
+        }
+    }
+}
+
+impl ResidualAccum {
+    /// Records one predicted-vs-actual pair. Pairs with a non-positive
+    /// actual are ignored (no meaningful relative error exists).
+    pub fn observe(&mut self, predicted: f64, actual: f64) {
+        if !actual.is_finite() || actual <= 0.0 || !predicted.is_finite() {
+            return;
+        }
+        // The window keeps the *signed* residual: grain-to-grain noise
+        // averages out of the rolling bias, systematic drift does not.
+        let rel = (predicted - actual) / actual;
+        self.n += 1;
+        self.sum_rel += rel.abs();
+        self.sum_sq_rel += rel * rel;
+        self.window[self.widx] = rel;
+        self.widx = (self.widx + 1) % RESIDUAL_WINDOW;
+        self.wlen = (self.wlen + 1).min(RESIDUAL_WINDOW);
+    }
+
+    /// Residual pairs recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean absolute relative residual over the whole run, in percent.
+    pub fn mean_abs_rel_pct(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * self.sum_rel / self.n as f64
+        }
+    }
+
+    /// Root-mean-square relative residual over the whole run, in percent.
+    pub fn rel_rmse_pct(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * (self.sum_sq_rel / self.n as f64).sqrt()
+        }
+    }
+
+    /// Mean absolute relative residual over the most recent
+    /// [`RESIDUAL_WINDOW`] predictions, in percent.
+    pub fn rolling_mean_abs_rel_pct(&self) -> f64 {
+        if self.wlen == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.window[..self.wlen].iter().map(|r| r.abs()).sum();
+        100.0 * sum / self.wlen as f64
+    }
+
+    /// *Signed* mean relative residual over the most recent
+    /// [`RESIDUAL_WINDOW`] predictions, in percent. This is the signal
+    /// the learned mode's skip/fall-back controller gates on: per-grain
+    /// CPI is inherently noisy (25–40% coefficient of variation in the
+    /// bundled workloads), so absolute per-prediction error cannot
+    /// separate model failure from grain noise — but noise averages out
+    /// of the signed mean while model failure or skip-induced state
+    /// drift shows up as persistent bias.
+    pub fn rolling_bias_pct(&self) -> f64 {
+        if self.wlen == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.window[..self.wlen].iter().sum();
+        100.0 * sum / self.wlen as f64
+    }
+
+    /// Predictions currently inside the rolling window.
+    pub fn window_len(&self) -> usize {
+        self.wlen
+    }
+
+    /// Widens `est` by the accumulated prediction noise: the residual RMS
+    /// (as a fraction of the ratio) is treated as an independent error
+    /// source on the estimate's mean, shrinking with the number of
+    /// predictions pooled, and added to the standard error in quadrature:
+    ///
+    /// `se' = sqrt(se² + (rmse_rel · ratio)² / n)`
+    ///
+    /// A run whose model predicted poorly therefore reports a wider —
+    /// never a narrower — interval than plain sampling would. With no
+    /// residuals recorded, `est` is returned unchanged.
+    pub fn inflate(&self, est: RatioEstimate) -> RatioEstimate {
+        if self.n == 0 || est.ratio == 0.0 {
+            return est;
+        }
+        let extra = self.rel_rmse_pct() / 100.0 * est.ratio;
+        let se = (est.se * est.se + extra * extra / self.n as f64).sqrt();
+        RatioEstimate { ratio: est.ratio, se, ci95: 1.96 * se, n: est.n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio_estimate;
+
+    #[test]
+    fn empty_accum_is_inert() {
+        let r = ResidualAccum::default();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean_abs_rel_pct(), 0.0);
+        assert_eq!(r.rolling_mean_abs_rel_pct(), 0.0);
+        let est = ratio_estimate(&[(100, 150), (100, 170)]);
+        assert_eq!(r.inflate(est), est);
+    }
+
+    #[test]
+    fn residuals_accumulate_and_roll() {
+        let mut r = ResidualAccum::default();
+        r.observe(1.1, 1.0); // +10%
+        r.observe(0.8, 1.0); // -20%
+        assert_eq!(r.count(), 2);
+        assert!((r.mean_abs_rel_pct() - 15.0).abs() < 1e-9);
+        assert!((r.rolling_mean_abs_rel_pct() - 15.0).abs() < 1e-9);
+        // Signed bias: (+10 − 20) / 2 = −5%.
+        assert!((r.rolling_bias_pct() - -5.0).abs() < 1e-9);
+        assert_eq!(r.window_len(), 2);
+        // Flood the window with exact predictions: the rolling view
+        // forgets the early errors, the whole-run mean does not.
+        for _ in 0..RESIDUAL_WINDOW {
+            r.observe(2.0, 2.0);
+        }
+        assert_eq!(r.rolling_mean_abs_rel_pct(), 0.0);
+        assert!(r.mean_abs_rel_pct() > 0.0);
+    }
+
+    #[test]
+    fn non_positive_actuals_are_ignored() {
+        let mut r = ResidualAccum::default();
+        r.observe(1.0, 0.0);
+        r.observe(1.0, -2.0);
+        r.observe(f64::NAN, 1.0);
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn inflate_only_widens() {
+        let mut r = ResidualAccum::default();
+        r.observe(1.05, 1.0);
+        r.observe(0.93, 1.0);
+        let est = ratio_estimate(&[(100, 150), (100, 170), (100, 160)]);
+        let wide = r.inflate(est);
+        assert_eq!(wide.ratio, est.ratio);
+        assert!(wide.se > est.se);
+        assert!((wide.ci95 - 1.96 * wide.se).abs() < 1e-12);
+    }
+}

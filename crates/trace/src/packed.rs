@@ -578,6 +578,29 @@ impl PackedCursor<'_> {
         let mut last_line = u64::MAX;
         let mut walked = 0u64;
         while walked < max_instrs {
+            // Batch runs of plain ALUs (kind byte exactly `TAG_ALU`): they
+            // carry no operand and advance the pc sequentially, so the only
+            // sink traffic is the fetch-line transitions the run crosses —
+            // one call per line instead of one decode per instruction. The
+            // reported line sequence is identical to the per-instruction
+            // walk (sequential pcs enter each line exactly once).
+            let cap = (max_instrs - walked).min(u32::MAX as u64) as usize;
+            let run = self.plain_alu_run(cap);
+            if run > 0 {
+                let mut line = self.pc >> shift;
+                if line != last_line {
+                    sink.warm_fetch_line(line);
+                }
+                let end_line = (self.pc + (run as u64 - 1) * INSTR_BYTES) >> shift;
+                while line < end_line {
+                    line += 1;
+                    sink.warm_fetch_line(line);
+                }
+                last_line = end_line;
+                self.skip_plain(run);
+                walked += run as u64;
+                continue;
+            }
             let Some(&kind) = self.trace.kinds.get(self.pos) else { break };
             if kind & EXPLICIT_PC != 0 {
                 self.pc = self.trace.ops[self.op_idx];
@@ -620,6 +643,144 @@ impl PackedCursor<'_> {
         }
         walked
     }
+
+    /// Decode-free fast-forward: advances the cursor past up to
+    /// `max_instrs` instructions with no sink, no [`Instr`], and no
+    /// fetch-line tracking — just the position, operand-index, and pc
+    /// bookkeeping [`PackedCursor::next`] would have performed. Plain-ALU
+    /// runs are skipped with a single byte sweep; everything else is a
+    /// three-field update per instruction. This is the learned sampling
+    /// mode's skipped-grain walk: the cursor (and therefore retirement
+    /// and the grain clock) stays exact while the walk touches none of
+    /// the operand-derived state a warming walk would.
+    pub fn skip_walk(&mut self, max_instrs: u64) -> u64 {
+        let mut walked = 0u64;
+        while walked < max_instrs {
+            let cap = (max_instrs - walked).min(u32::MAX as u64) as usize;
+            let run = self.plain_alu_run(cap);
+            if run > 0 {
+                self.skip_plain(run);
+                walked += run as u64;
+                continue;
+            }
+            let Some(&kind) = self.trace.kinds.get(self.pos) else { break };
+            if kind & EXPLICIT_PC != 0 {
+                self.pc = self.trace.ops[self.op_idx];
+                self.op_idx += 1;
+            }
+            let tag = kind & TAG_MASK;
+            if tag == TAG_ALU {
+                self.pc += INSTR_BYTES;
+            } else {
+                let op = self.trace.ops[self.op_idx];
+                self.op_idx += 1;
+                // Mirror `Instr::next_pc`, as `next_raw` does.
+                self.pc = if tag < TAG_COND || (tag == TAG_COND && kind & FLAG_BIT == 0) {
+                    self.pc + INSTR_BYTES
+                } else {
+                    op
+                };
+            }
+            self.pos += 1;
+            walked += 1;
+        }
+        walked
+    }
+
+    /// [`PackedCursor::skip_walk`] with a memory-touch observer: fetch
+    /// lines (on transitions, as in
+    /// [`PackedCursor::warm_walk_bounded`]) and load/store addresses are
+    /// reported to `sink`, but **`warm_branch` is never called** — no
+    /// [`Instr`] is materialised, which is where most of the observed
+    /// walk's cost over a bare fast-forward lives. The operand words are
+    /// loaded for cursor advance anyway, so the reporting adds only the
+    /// sink calls themselves. Observers that need branch outcomes must
+    /// use the full warming walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `line_bytes` is not a power of two.
+    pub fn skip_walk_observed<S: WarmSink>(
+        &mut self,
+        max_instrs: u64,
+        line_bytes: u64,
+        sink: &mut S,
+    ) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        let shift = line_bytes.trailing_zeros();
+        // Hot loop: cursor state lives in locals (written back once at
+        // the end) so the compiler keeps it in registers across the
+        // sink calls instead of reloading through `&mut self`.
+        let kinds = self.trace.kinds.as_slice();
+        let ops = self.trace.ops.as_slice();
+        let start = self.pos;
+        let mut pos = start;
+        let mut op_idx = self.op_idx;
+        let mut pc = self.pc;
+        let end = start + ((kinds.len() - start.min(kinds.len())) as u64).min(max_instrs) as usize;
+        let mut last_line = u64::MAX;
+        while pos < end {
+            let kind = kinds[pos];
+            if kind == TAG_ALU {
+                // Plain-ALU run: one fused scan sizes it, the fetch
+                // lines it crosses are reported, and the cursor jumps.
+                let mut n = pos + 1;
+                while n < end && kinds[n] == TAG_ALU {
+                    n += 1;
+                }
+                let run = (n - pos) as u64;
+                let mut line = pc >> shift;
+                if line != last_line {
+                    sink.warm_fetch_line(line);
+                }
+                let end_line = (pc + (run - 1) * INSTR_BYTES) >> shift;
+                while line < end_line {
+                    line += 1;
+                    sink.warm_fetch_line(line);
+                }
+                last_line = end_line;
+                pc += run * INSTR_BYTES;
+                pos = n;
+                continue;
+            }
+            if kind & EXPLICIT_PC != 0 {
+                pc = ops[op_idx];
+                op_idx += 1;
+            }
+            let line = pc >> shift;
+            if line != last_line {
+                sink.warm_fetch_line(line);
+                last_line = line;
+            }
+            let tag = kind & TAG_MASK;
+            if tag == TAG_ALU {
+                pc += INSTR_BYTES;
+            } else {
+                let op = ops[op_idx];
+                op_idx += 1;
+                if tag == TAG_LOAD {
+                    sink.warm_load(pc, op);
+                    pc += INSTR_BYTES;
+                } else if tag == TAG_STORE {
+                    sink.warm_store(op);
+                    pc += INSTR_BYTES;
+                } else {
+                    // Branch tags: sequential only for a not-taken
+                    // conditional, the target otherwise (as `next_raw`).
+                    pc = if tag == TAG_COND && kind & FLAG_BIT == 0 {
+                        pc + INSTR_BYTES
+                    } else {
+                        op
+                    };
+                }
+            }
+            pos += 1;
+        }
+        self.pos = pos;
+        self.op_idx = op_idx;
+        self.pc = pc;
+        (pos - start) as u64
+    }
 }
 
 impl EventStream for PackedCursor<'_> {
@@ -635,6 +796,19 @@ impl EventStream for PackedCursor<'_> {
 
     fn fork(&self) -> Box<dyn EventStream + '_> {
         Box::new(self.clone())
+    }
+
+    fn skip_region(&mut self, max_instrs: u64) -> u64 {
+        self.skip_walk(max_instrs)
+    }
+
+    fn skip_region_observed<S: WarmSink>(
+        &mut self,
+        max_instrs: u64,
+        line_bytes: u64,
+        sink: &mut S,
+    ) -> u64 {
+        self.skip_walk_observed(max_instrs, line_bytes, sink)
     }
 }
 
@@ -789,6 +963,61 @@ impl EventStream for EventCursor<'_> {
                 }
             }
             let n = self.seg.warm_walk_bounded(budget, line_bytes, sink);
+            walked += n;
+            if n < budget {
+                break;
+            }
+        }
+        walked
+    }
+
+    fn skip_region(&mut self, max_instrs: u64) -> u64 {
+        let mut walked = 0u64;
+        while walked < max_instrs {
+            let mut budget = max_instrs - walked;
+            if self.speculative && !self.in_tail {
+                if let Some(d) = self.event.diverge_at {
+                    let to_diverge = d - self.seg.position();
+                    if to_diverge == 0 {
+                        self.base = self.seg.position();
+                        self.seg = self.event.spec_tail.cursor();
+                        self.in_tail = true;
+                    } else {
+                        budget = budget.min(to_diverge);
+                    }
+                }
+            }
+            let n = self.seg.skip_walk(budget);
+            walked += n;
+            if n < budget {
+                break;
+            }
+        }
+        walked
+    }
+
+    fn skip_region_observed<S: WarmSink>(
+        &mut self,
+        max_instrs: u64,
+        line_bytes: u64,
+        sink: &mut S,
+    ) -> u64 {
+        let mut walked = 0u64;
+        while walked < max_instrs {
+            let mut budget = max_instrs - walked;
+            if self.speculative && !self.in_tail {
+                if let Some(d) = self.event.diverge_at {
+                    let to_diverge = d - self.seg.position();
+                    if to_diverge == 0 {
+                        self.base = self.seg.position();
+                        self.seg = self.event.spec_tail.cursor();
+                        self.in_tail = true;
+                    } else {
+                        budget = budget.min(to_diverge);
+                    }
+                }
+            }
+            let n = self.seg.skip_walk_observed(budget, line_bytes, sink);
             walked += n;
             if n < budget {
                 break;
@@ -1139,6 +1368,53 @@ mod tests {
             assert_eq!(sink.loads, want.loads);
             assert_eq!(sink.stores, want.stores);
             assert_eq!(sink.branches, want.branches);
+        }
+    }
+
+    #[test]
+    fn skip_walk_lands_where_decoding_does() {
+        // After fast-forwarding k instructions the cursor must decode
+        // exactly the suffix a freshly decoded cursor would — position,
+        // operand index, and pc all line up at every split point.
+        for v in [consistent(), discontinuous()] {
+            let p = PackedTrace::from_instrs(&v);
+            for k in 0..=v.len() {
+                let mut cur = p.cursor();
+                assert_eq!(cur.skip_walk(k as u64), k as u64);
+                assert_eq!(record_stream(&mut cur, usize::MAX), v[k..]);
+            }
+            // Budget past the end stops at the end.
+            let mut cur = p.cursor();
+            assert_eq!(cur.skip_walk(u64::MAX), v.len() as u64);
+            assert_eq!(cur.next_instr(), None);
+        }
+    }
+
+    #[test]
+    fn skip_walk_observed_matches_warm_walk_touches_sans_branches() {
+        // The observed fast-forward must report the same fetch lines,
+        // loads, and stores as the full warming walk — branches are the
+        // one documented omission — and land the cursor identically.
+        for v in [consistent(), discontinuous()] {
+            let p = PackedTrace::from_instrs(&v);
+            let mut warm = RecordingSink::default();
+            p.warm_walk(64, &mut warm);
+            for k in 0..=v.len() {
+                let mut sink = RecordingSink::default();
+                let mut cur = p.cursor();
+                assert_eq!(cur.skip_walk_observed(k as u64, 64, &mut sink), k as u64);
+                assert_eq!(record_stream(&mut cur, usize::MAX), v[k..]);
+                assert!(sink.branches.is_empty(), "observed walk must not decode branches");
+                assert_eq!(sink.loads, warm.loads[..sink.loads.len()]);
+                assert_eq!(sink.stores, warm.stores[..sink.stores.len()]);
+            }
+            // Over the whole trace the memory touches agree exactly.
+            let mut sink = RecordingSink::default();
+            let mut cur = p.cursor();
+            assert_eq!(cur.skip_walk_observed(u64::MAX, 64, &mut sink), v.len() as u64);
+            assert_eq!(sink.fetches, warm.fetches);
+            assert_eq!(sink.loads, warm.loads);
+            assert_eq!(sink.stores, warm.stores);
         }
     }
 

@@ -65,6 +65,44 @@ pub trait EventStream: Send {
         }
         walked
     }
+
+    /// Consumes up to `max_instrs` instructions with no observer at all —
+    /// the learned sampling mode's skipped-grain fast-forward. The cursor
+    /// advances exactly as [`EventStream::warm_region`] would (so
+    /// retirement accounting stays exact), but no architectural state is
+    /// reported anywhere. Returns the number of instructions consumed,
+    /// short of `max_instrs` only at end of stream.
+    ///
+    /// The default decodes through [`EventStream::next_instr`]; packed
+    /// cursors override it with a decode-free walk over the packed
+    /// arrays (see `PackedCursor::skip_walk`).
+    fn skip_region(&mut self, max_instrs: u64) -> u64 {
+        let mut walked = 0u64;
+        while walked < max_instrs && self.next_instr().is_some() {
+            walked += 1;
+        }
+        walked
+    }
+
+    /// [`EventStream::skip_region`] with a memory-touch observer: fetch
+    /// lines and load/store addresses are reported to `sink` so a
+    /// footprint can be collected almost for free, but branch reporting
+    /// is *not* guaranteed — packed cursors never call
+    /// [`WarmSink::warm_branch`] here (see
+    /// `PackedCursor::skip_walk_observed`), while this decoded default
+    /// does. Sinks used with this method must not depend on the branch
+    /// hook.
+    fn skip_region_observed<S: WarmSink>(
+        &mut self,
+        max_instrs: u64,
+        line_bytes: u64,
+        sink: &mut S,
+    ) -> u64
+    where
+        Self: Sized,
+    {
+        self.warm_region(max_instrs, line_bytes, sink)
+    }
 }
 
 impl<S: EventStream + ?Sized> EventStream for Box<S> {
@@ -80,6 +118,11 @@ impl<S: EventStream + ?Sized> EventStream for Box<S> {
 
     fn fork(&self) -> Box<dyn EventStream + '_> {
         (**self).fork()
+    }
+
+    #[inline]
+    fn skip_region(&mut self, max_instrs: u64) -> u64 {
+        (**self).skip_region(max_instrs)
     }
 }
 

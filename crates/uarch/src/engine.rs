@@ -744,6 +744,50 @@ impl esp_trace::WarmSink for Engine {
     }
 }
 
+/// A functional-warming tee: forwards every [`esp_trace::WarmSink`]
+/// callback to the engine *and* to a second sink. The learned sampling
+/// mode tees its feature extractor next to the engine during fully
+/// warmed grains, so the extractor observes exactly the callback
+/// sequence it would see alone during skipped grains — no train/predict
+/// feature skew.
+pub struct WarmTee<'a, S: esp_trace::WarmSink> {
+    engine: &'a mut Engine,
+    extra: &'a mut S,
+}
+
+impl<'a, S: esp_trace::WarmSink> WarmTee<'a, S> {
+    /// Tees `extra` next to `engine`.
+    pub fn new(engine: &'a mut Engine, extra: &'a mut S) -> Self {
+        WarmTee { engine, extra }
+    }
+}
+
+impl<S: esp_trace::WarmSink> esp_trace::WarmSink for WarmTee<'_, S> {
+    #[inline]
+    fn warm_fetch_line(&mut self, line: u64) {
+        esp_trace::WarmSink::warm_fetch_line(self.engine, line);
+        self.extra.warm_fetch_line(line);
+    }
+
+    #[inline]
+    fn warm_load(&mut self, pc: u64, addr: u64) {
+        esp_trace::WarmSink::warm_load(self.engine, pc, addr);
+        self.extra.warm_load(pc, addr);
+    }
+
+    #[inline]
+    fn warm_store(&mut self, addr: u64) {
+        esp_trace::WarmSink::warm_store(self.engine, addr);
+        self.extra.warm_store(addr);
+    }
+
+    #[inline]
+    fn warm_branch(&mut self, instr: &Instr) {
+        esp_trace::WarmSink::warm_branch(self.engine, instr);
+        self.extra.warm_branch(instr);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,12 +104,12 @@ fn stream(seed: u64, len: usize) -> Vec<RawStep> {
         let flag = (r >> 8) & 1 != 0;
         let op = match tag {
             TAG_LOAD | TAG_STORE => {
-                if (r >> 9) % 3 == 0 {
+                if (r >> 9).is_multiple_of(3) {
                     // A strided walk, food for the stride prefetcher.
                     seq += 64;
                     seq
                 } else {
-                    HEAP_BASE + ((r >> 16) % (1 << 20)) & !7
+                    (HEAP_BASE + ((r >> 16) % (1 << 20))) & !7
                 }
             }
             t if is_branch_tag(t) => CODE_BASE + (((r >> 16) % 0x4000) & !3),

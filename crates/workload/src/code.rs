@@ -363,9 +363,7 @@ mod tests {
             for (bi, b) in f.blocks.iter().enumerate() {
                 match b.term {
                     Terminator::CondSkip { skip, .. } => {
-                        assert!(bi + 1 + skip as usize <= f.blocks.len() - 1 || bi + 1 + (skip as usize) < f.blocks.len() + 1,
-                            "skip target out of range");
-                        assert!(bi + 1 + skip as usize <= f.blocks.len());
+                        assert!(bi + 1 + skip as usize <= f.blocks.len(), "skip target out of range");
                     }
                     Terminator::LoopBack { to_block, .. } => {
                         assert!((to_block as usize) < bi);

@@ -6,11 +6,15 @@
 #
 # The bench runs the full evaluation matrix (9 families x 29 configs =
 # 261 simulations: the paper's 7 profiles plus serverasync and iotfsm)
-# three times: pass 1 cold on one thread (generate +
+# several times: pass 1 cold on one thread (generate +
 # materialise + simulate), pass 2 warm on all cores (arena reused;
 # skipped with a JSON note when only one core is visible), pass 3 warm
 # in statistical-sampling mode with a sampled-vs-exact CPI error
-# cross-check. Pass 4 measures the second parallelism axis: each
+# cross-check (per-profile table under "sampled".per_profile), pass 3b
+# warm with learned fast-forwarding on top of sampling (--learn-* to
+# override the model; throughput, speedups vs exact and vs plain
+# sampling, error envelope, skip fraction, and fallback counters land
+# under "learned"). Pass 4 measures the second parallelism axis: each
 # profile's single baseline run chunked over --intra-threads workers
 # with deterministic merge (docs/PARALLELISM.md); its chunk/conflict
 # accounting and serial-vs-chunked single-run throughput land under

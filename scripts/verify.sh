@@ -39,6 +39,9 @@ cargo test -q --release -p esp-bench --test packed_equivalence
 echo "== sampling: accuracy + thread-count determinism (esp-sample) =="
 cargo test -q --release -p esp-bench --test sampling_error
 
+echo "== learned fast-forward: accuracy + non-vacuous skipping + determinism (esp-learn) =="
+cargo test -q --release -p esp-bench --test learned_ff_error
+
 echo "== observability: conservation + thread-count invariance =="
 cargo test -q --release -p esp-bench --test observability
 
@@ -69,6 +72,14 @@ print(f"  sampled: {s['sims_per_sec']:.1f} sims/sec, simulate speedup "
       f"{s['simulate_speedup_vs_exact']:.2f}x, max CPI error "
       f"{s['max_cpi_error_pct']:.1f}% (small scale -- error shrinks with scale; "
       f"the gated accuracy test runs at 2.4M)")
+l = d.get("learned")
+if l:
+    print(f"  learned: {l['sims_per_sec']:.1f} sims/sec, simulate speedup "
+          f"{l['simulate_speedup_vs_exact']:.2f}x vs exact "
+          f"({l['simulate_speedup_vs_sampled']:.2f}x vs sampled), max CPI error "
+          f"{l['max_cpi_error_pct']:.1f}%, skip fraction {l['skip_fraction']:.2f}, "
+          f"fallback rate {l['fallback_rate']:.3f} (small scale -- few stretches "
+          f"to skip; the gated accuracy test runs at 2.4M)")
 # Intra-run (single-run) scaling pass: informational. Conflict
 # accounting is deterministic; the wall-time ratio is only a scaling
 # number on a multi-core host (docs/PARALLELISM.md).

@@ -33,6 +33,7 @@
 //! | [`lists`] | `esp-lists` | I/D/B prediction lists with compressed encodings |
 //! | [`uarch`] | `esp-uarch` | Interval timing model + runahead |
 //! | [`core`] | `esp-core` | The ESP architecture and the [`prelude::Simulator`] facade |
+//! | [`learn`] | `esp-learn` | Learned fast-forward models for the sampled mode |
 //! | [`stats`] | `esp-stats` | Counters, metrics, report tables |
 //! | [`obs`] | `esp-obs` | CPI-stack stall attribution, probes, JSONL tracing |
 //! | [`energy`] | `esp-energy` | Energy and area models |
@@ -43,6 +44,7 @@
 pub use esp_branch as branch;
 pub use esp_core as core;
 pub use esp_energy as energy;
+pub use esp_learn as learn;
 pub use esp_lists as lists;
 pub use esp_mem as mem;
 pub use esp_obs as obs;
